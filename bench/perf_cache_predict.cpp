@@ -1,0 +1,108 @@
+// Micro-benchmarks for the cache policies and access predictors.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/clock_cache.hpp"
+#include "cache/fifo.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/random_cache.hpp"
+#include "cache/tagged_cache.hpp"
+#include "predict/dependency_graph.hpp"
+#include "predict/markov.hpp"
+#include "predict/ppm.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace specpf;
+
+template <typename CacheT>
+std::unique_ptr<Cache> make_cache(std::size_t cap) {
+  if constexpr (std::is_same_v<CacheT, RandomCache>) {
+    return std::make_unique<RandomCache>(cap, 42);
+  } else {
+    return std::make_unique<CacheT>(cap);
+  }
+}
+
+template <typename CacheT>
+void BM_Cache_ZipfWorkload(benchmark::State& state) {
+  const std::size_t cap = 1024;
+  auto cache = make_cache<CacheT>(cap);
+  ZipfDist zipf(16384, 0.9);
+  Rng rng(11);
+  for (auto _ : state) {
+    const ItemId item = zipf.sample(rng);
+    if (!cache->lookup(item).has_value()) {
+      cache->insert(item, EntryTag::kTagged);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["hit_ratio"] = cache->stats().hit_ratio();
+}
+BENCHMARK_TEMPLATE(BM_Cache_ZipfWorkload, LruCache);
+BENCHMARK_TEMPLATE(BM_Cache_ZipfWorkload, LfuCache);
+BENCHMARK_TEMPLATE(BM_Cache_ZipfWorkload, FifoCache);
+BENCHMARK_TEMPLATE(BM_Cache_ZipfWorkload, ClockCache);
+BENCHMARK_TEMPLATE(BM_Cache_ZipfWorkload, RandomCache);
+
+void BM_TaggedCache_Protocol(benchmark::State& state) {
+  TaggedCache cache(std::make_unique<LruCache>(1024));
+  ZipfDist zipf(8192, 0.9);
+  Rng rng(13);
+  for (auto _ : state) {
+    const ItemId item = zipf.sample(rng);
+    if (cache.access(item) == AccessOutcome::kMiss) {
+      if (rng.bernoulli(0.5)) {
+        cache.admit_demand(item);
+      } else {
+        cache.admit_prefetch(item);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaggedCache_Protocol);
+
+void BM_Markov_ObservePredict(benchmark::State& state) {
+  MarkovPredictor predictor;
+  ZipfDist zipf(2000, 0.8);
+  Rng rng(17);
+  for (auto _ : state) {
+    predictor.observe(0, zipf.sample(rng));
+    benchmark::DoNotOptimize(predictor.predict(0, 8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Markov_ObservePredict);
+
+void BM_Ppm_ObservePredict(benchmark::State& state) {
+  PpmPredictor predictor(static_cast<std::size_t>(state.range(0)));
+  ZipfDist zipf(2000, 0.8);
+  Rng rng(19);
+  for (auto _ : state) {
+    predictor.observe(0, zipf.sample(rng));
+    benchmark::DoNotOptimize(predictor.predict(0, 8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ppm_ObservePredict)->Arg(2)->Arg(4);
+
+void BM_DependencyGraph_ObservePredict(benchmark::State& state) {
+  DependencyGraphPredictor predictor(4);
+  ZipfDist zipf(2000, 0.8);
+  Rng rng(23);
+  for (auto _ : state) {
+    predictor.observe(0, zipf.sample(rng));
+    benchmark::DoNotOptimize(predictor.predict(0, 8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DependencyGraph_ObservePredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Micro-benchmarks for the analytical core: a planner decision must be
+// cheap enough to run on every user request (it is a handful of flops).
+#include <benchmark/benchmark.h>
+
+#include "core/excess_cost.hpp"
+#include "core/interaction.hpp"
+#include "core/planner.hpp"
+#include "sim/abstract_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace specpf;
+
+core::SystemParams reference_params() {
+  core::SystemParams p;
+  p.bandwidth = 50.0;
+  p.request_rate = 30.0;
+  p.mean_item_size = 1.0;
+  p.hit_ratio = 0.3;
+  p.cache_items = 100.0;
+  return p;
+}
+
+void BM_Core_Analyze(benchmark::State& state) {
+  const auto params = reference_params();
+  double acc = 0.0;
+  double p = 0.42;
+  for (auto _ : state) {
+    p = p < 0.9 ? p + 1e-6 : 0.42;
+    acc += core::analyze(params, {p, 0.5}, core::InteractionModel::kModelA)
+               .gain;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Core_Analyze);
+
+void BM_Planner_PlanDecision(benchmark::State& state) {
+  core::PrefetchPlanner planner(reference_params(),
+                                core::InteractionModel::kModelA);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::Candidate> candidates(n);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates[i] = {i, rng.next_double() * 0.7 / static_cast<double>(n)};
+  }
+  candidates[0].probability = 0.65;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(candidates));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Planner_PlanDecision)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AbstractSim_EndToEnd(benchmark::State& state) {
+  // Whole-simulation throughput: simulated seconds per wall second.
+  AbstractSimConfig cfg;
+  cfg.params = reference_params();
+  cfg.op = {0.6, 0.5};
+  cfg.duration = static_cast<double>(state.range(0));
+  cfg.warmup = cfg.duration / 10.0;
+  cfg.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_abstract_sim(cfg));
+  }
+  state.counters["sim_seconds_per_iter"] = cfg.duration;
+}
+BENCHMARK(BM_AbstractSim_EndToEnd)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Engine micro-benchmarks: event queue, PS server, RNG, distributions.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "des/simulator.hpp"
+#include "net/ps_server.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace specpf;
+
+void BM_EventQueue_ScheduleAndRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Simulator sim;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(rng.next_double() * 1000.0, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueue_ScheduleAndRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_EventQueue_CancelHeavy(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(sim.schedule_at(rng.next_double() * 100.0, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_EventQueue_CancelHeavy);
+
+void BM_PsServer_Throughput(benchmark::State& state) {
+  // Sustained M/M/1-PS at rho = 0.7: jobs processed per second of CPU.
+  for (auto _ : state) {
+    Simulator sim;
+    PsServer server(sim, 10.0);
+    Rng rng(3);
+    ExponentialDist interarrival(1.0 / 7.0);
+    ExponentialDist sizes(1.0);
+    std::function<void()> arrive = [&] {
+      server.submit(sizes.sample(rng), nullptr);
+      const double dt = interarrival.sample(rng);
+      if (sim.now() + dt < 2000.0) sim.schedule_in(dt, arrive);
+    };
+    sim.schedule_in(interarrival.sample(rng), arrive);
+    sim.run();
+    benchmark::DoNotOptimize(server.stats().completed);
+  }
+}
+BENCHMARK(BM_PsServer_Throughput);
+
+void BM_Rng_NextDouble(benchmark::State& state) {
+  Rng rng(4);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.next_double();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Rng_NextDouble);
+
+void BM_Zipf_Sample(benchmark::State& state) {
+  ZipfDist zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  Rng rng(5);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += zipf.sample(rng);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Zipf_Sample)->Arg(1000)->Arg(1000000);
+
+void BM_Discrete_AliasSample(benchmark::State& state) {
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  Rng seed_rng(6);
+  for (auto& w : weights) w = seed_rng.next_double() + 0.01;
+  DiscreteDist dist(weights);
+  Rng rng(7);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += dist.sample(rng);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Discrete_AliasSample)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Ablation: processor-sharing vs FIFO service at the shared server.
+//
+// The paper's closed forms assume PS (round-robin). Under FIFO the mean
+// sojourn follows Pollaczek–Khinchine and depends on the service-time
+// second moment, so heavy-tailed item sizes penalise FIFO while PS is
+// insensitive. This table quantifies where the closed forms stop applying
+// if the link is actually FIFO.
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "des/simulator.hpp"
+#include "net/fifo_server.hpp"
+#include "net/ps_server.hpp"
+#include "queueing/mg1_ps.hpp"
+#include "queueing/mm1.hpp"
+#include "util/argparse.hpp"
+#include "util/distributions.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace specpf;
+
+double run_server(bool ps, const Distribution& sizes, double lambda,
+                  double bandwidth, double horizon, std::uint64_t seed) {
+  Simulator sim;
+  std::unique_ptr<Server> server;
+  if (ps) {
+    server = std::make_unique<PsServer>(sim, bandwidth);
+  } else {
+    server = std::make_unique<FifoServer>(sim, bandwidth);
+  }
+  Rng rng(seed);
+  ExponentialDist interarrival(1.0 / lambda);
+  std::function<void()> arrive = [&] {
+    server->submit(sizes.sample(rng), nullptr);
+    const double dt = interarrival.sample(rng);
+    if (sim.now() + dt < horizon) sim.schedule_in(dt, arrive);
+  };
+  sim.schedule_in(interarrival.sample(rng), arrive);
+  sim.schedule_at(horizon / 10.0, [&] { server->reset_stats(); });
+  sim.run_until(horizon);
+  return server->stats().mean_sojourn;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("table_discipline_ablation",
+                 "PS vs FIFO under different size distributions");
+  args.add_flag("horizon", "6000", "simulated seconds per run");
+  args.add_flag("csv", "false", "emit CSV instead of markdown");
+  if (!args.parse(argc, argv)) return 1;
+  const double horizon = args.get_double("horizon");
+
+  const double bandwidth = 10.0;
+  const double mean_size = 1.0;
+
+  Table table({"rho", "size dist", "PS sim", "PS theory x/(1-rho)",
+               "FIFO sim", "FIFO/PS ratio"});
+  table.set_title("Service-discipline ablation (mean size 1, bandwidth 10)");
+  table.set_precision(4);
+
+  for (double rho : {0.3, 0.6, 0.8}) {
+    const double lambda = rho * bandwidth / mean_size;
+    const MG1PS theory(lambda, mean_size / bandwidth);
+    struct SizeCase {
+      std::string name;
+      std::unique_ptr<Distribution> dist;
+    };
+    std::vector<SizeCase> cases;
+    cases.push_back({"deterministic",
+                     std::make_unique<DeterministicDist>(mean_size)});
+    cases.push_back({"exponential",
+                     std::make_unique<ExponentialDist>(mean_size)});
+    {
+      // Bounded Pareto scaled to unit mean: heavy tail, CV >> 1.
+      BoundedParetoDist probe(1.4, 1.0, 1000.0);
+      const double scale = mean_size / probe.mean();
+      cases.push_back({"pareto(1.4)",
+                       std::make_unique<BoundedParetoDist>(1.4, scale,
+                                                           scale * 1000.0)});
+    }
+    for (const auto& c : cases) {
+      const double ps = run_server(true, *c.dist, lambda, bandwidth, horizon,
+                                   1234);
+      const double fifo = run_server(false, *c.dist, lambda, bandwidth,
+                                     horizon, 1234);
+      table.add_row({rho, c.name, ps, theory.mean_sojourn(), fifo, fifo / ps});
+    }
+  }
+
+  if (args.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+    std::cout << "Expected: PS sim tracks x/(1-rho) for every distribution "
+                 "(insensitivity);\nFIFO/PS ratio grows with load and tail "
+                 "weight.\n";
+  }
+  return 0;
+}

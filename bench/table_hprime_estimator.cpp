@@ -1,0 +1,76 @@
+// §4 online h' estimator: accuracy of the tagged/untagged protocol while
+// prefetching runs, as a function of cache pressure.
+//
+// Ground truth h' is the hit ratio of the identical system with prefetching
+// disabled. §4 assumes "the cache size n̄(C) is large enough"; this table
+// quantifies the estimator's bias when that assumption is stressed (small
+// caches lose tagged entries to prefetch evictions, so ĥ' under-reads; the
+// Model-B correction n̄(C)/(n̄(C)−n̄(F)) recovers part of the gap).
+#include <iostream>
+
+#include "policy/policies.hpp"
+#include "sim/proxy_sim.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specpf;
+  ArgParser args("table_hprime_estimator",
+                 "Accuracy of the §4 online h' estimator");
+  args.add_flag("duration", "1200", "measured seconds per run");
+  args.add_flag("csv", "false", "emit CSV instead of markdown");
+  if (!args.parse(argc, argv)) return 1;
+
+  Table table({"cache cap", "pages", "truth h'", "est A", "est B", "bias A",
+               "bias B", "prefetch/req"});
+  table.set_title("§4 h' estimator accuracy vs cache pressure (threshold-A "
+                  "policy, oracle predictor)");
+  table.set_precision(4);
+
+  for (const auto& [cap, pages] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {16, 60}, {24, 60}, {48, 60}, {80, 60}, {120, 150}, {200, 150}}) {
+    ProxySimConfig cfg;
+    cfg.num_users = 4;
+    cfg.bandwidth = 40.0;
+    cfg.graph.num_pages = pages;
+    cfg.graph.out_degree = 3;
+    cfg.graph.exit_probability = 0.2;
+    cfg.session_rate_per_user = 0.8;
+    cfg.think_time_mean = 0.4;
+    cfg.cache_capacity = cap;
+    cfg.duration = args.get_double("duration");
+    cfg.warmup = cfg.duration / 10.0;
+    cfg.seed = 7;
+
+    NoPrefetchPolicy none;
+    const auto truth = run_proxy_sim(cfg, none);
+
+    ThresholdPolicy policy_a(core::InteractionModel::kModelA);
+    const auto est_a = run_proxy_sim(cfg, policy_a);
+
+    ProxySimConfig cfg_b = cfg;
+    cfg_b.estimator_model = core::InteractionModel::kModelB;
+    ThresholdPolicy policy_b(core::InteractionModel::kModelB);
+    const auto est_b = run_proxy_sim(cfg_b, policy_b);
+
+    const double prefetch_rate =
+        static_cast<double>(est_a.prefetch_jobs) /
+        static_cast<double>(est_a.requests);
+    table.add_row({static_cast<std::int64_t>(cap),
+                   static_cast<std::int64_t>(pages), truth.hit_ratio,
+                   est_a.hprime_estimate, est_b.hprime_estimate,
+                   est_a.hprime_estimate - truth.hit_ratio,
+                   est_b.hprime_estimate - truth.hit_ratio, prefetch_rate});
+  }
+
+  if (args.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+    std::cout << "Expected: bias → 0 as the cache grows (the §4 large-cache "
+                 "assumption);\nModel-B correction reduces |bias| under "
+                 "pressure.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Low-bandwidth scenario (the authors' original motivation: prefetching for
+// wireless/mobile clients): sweep the shared bandwidth and show where
+// speculative prefetching flips from helping to hurting.
+//
+// For each bandwidth the example prints the analytic threshold p_th next to
+// the measured access-time change of (a) the threshold rule and (b) an
+// aggressive fixed-threshold prefetcher. As bandwidth shrinks, p_th rises
+// toward 1 — the model says "stop prefetching" — and the aggressive
+// prefetcher's access time degrades exactly as predicted.
+//
+//   ./mobile_low_bandwidth --duration 900
+#include <cstdio>
+#include <iostream>
+
+#include "policy/policies.hpp"
+#include "sim/proxy_sim.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specpf;
+  ArgParser args("mobile_low_bandwidth",
+                 "Bandwidth sweep: when does prefetching stop paying?");
+  args.add_flag("duration", "900", "measured seconds per run");
+  args.add_flag("users", "6", "number of mobile clients");
+  if (!args.parse(argc, argv)) return 1;
+
+  ProxySimConfig base;
+  base.num_users = static_cast<std::size_t>(args.get_int("users"));
+  base.graph.num_pages = 80;
+  base.graph.out_degree = 3;
+  base.graph.exit_probability = 0.2;
+  base.graph.link_skew = 1.5;
+  base.session_rate_per_user = 0.8;
+  base.think_time_mean = 0.4;
+  base.cache_capacity = 24;
+  base.duration = args.get_double("duration");
+  base.warmup = base.duration / 10.0;
+  base.seed = 17;
+
+  Table table({"bandwidth", "rho' (none)", "p_th est", "t none", "t threshold",
+               "t aggressive", "threshold vs none", "aggressive vs none"});
+  table.set_precision(4);
+
+  for (double bandwidth : {80.0, 40.0, 25.0, 18.0, 14.0, 11.0}) {
+    ProxySimConfig cfg = base;
+    cfg.bandwidth = bandwidth;
+
+    NoPrefetchPolicy none;
+    const auto r_none = run_proxy_sim(cfg, none);
+
+    ThresholdPolicy threshold(core::InteractionModel::kModelA);
+    const auto r_thresh = run_proxy_sim(cfg, threshold);
+
+    FixedThresholdPolicy aggressive(0.02);
+    const auto r_aggr = run_proxy_sim(cfg, aggressive);
+
+    // p_th as the deployed policy would estimate it at the end of the run.
+    core::SystemParams params;
+    params.bandwidth = bandwidth;
+    params.request_rate = static_cast<double>(r_none.requests) /
+                          (cfg.duration + cfg.warmup);
+    params.mean_item_size = cfg.item_size;
+    params.hit_ratio = r_none.hit_ratio;
+    const double pth =
+        core::threshold(params, core::InteractionModel::kModelA);
+
+    table.add_row({bandwidth, r_none.server_utilization, std::min(1.0, pth),
+                   r_none.mean_access_time, r_thresh.mean_access_time,
+                   r_aggr.mean_access_time,
+                   r_thresh.mean_access_time / r_none.mean_access_time,
+                   r_aggr.mean_access_time / r_none.mean_access_time});
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "Reading: 'vs none' < 1 means prefetching helped. The threshold rule\n"
+      "stays <= 1 across the sweep; the aggressive prefetcher helps at high\n"
+      "bandwidth and collapses once the link saturates — the paper's core\n"
+      "warning about prefetching under load.\n");
+  return 0;
+}

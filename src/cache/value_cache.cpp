@@ -1,0 +1,91 @@
+#include "cache/value_cache.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+ValueCache::ValueCache(std::size_t capacity) : capacity_(capacity) {
+  SPECPF_EXPECTS(capacity >= 1);
+}
+
+std::optional<EntryTag> ValueCache::lookup(ItemId item) {
+  ++stats_.lookups;
+  auto it = entries_.find(item);
+  if (it == entries_.end()) return std::nullopt;
+  ++stats_.hits;
+  return it->second.tag;
+}
+
+bool ValueCache::contains(ItemId item) const {
+  return entries_.count(item) != 0;
+}
+
+void ValueCache::insert(ItemId item, EntryTag tag) {
+  insert_valued(item, tag, 0.0);
+}
+
+bool ValueCache::insert_valued(ItemId item, EntryTag tag, double value) {
+  ++stats_.insertions;
+  auto it = entries_.find(item);
+  if (it != entries_.end()) {
+    it->second.tag = tag;
+    set_value(item, value);
+    return true;
+  }
+  if (entries_.size() >= capacity_) {
+    // Admission control: refuse items worth less than the victim.
+    SPECPF_ASSERT(!by_value_.empty());
+    if (value < by_value_.begin()->first) return false;
+    evict_min();
+  }
+  entries_[item] = Entry{tag, value};
+  by_value_.emplace(value, item);
+  return true;
+}
+
+bool ValueCache::set_value(ItemId item, double value) {
+  auto it = entries_.find(item);
+  if (it == entries_.end()) return false;
+  by_value_.erase({it->second.value, item});
+  it->second.value = value;
+  by_value_.emplace(value, item);
+  return true;
+}
+
+std::optional<double> ValueCache::value_of(ItemId item) const {
+  auto it = entries_.find(item);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<double> ValueCache::min_value() const {
+  if (by_value_.empty()) return std::nullopt;
+  return by_value_.begin()->first;
+}
+
+bool ValueCache::set_tag(ItemId item, EntryTag tag) {
+  auto it = entries_.find(item);
+  if (it == entries_.end()) return false;
+  it->second.tag = tag;
+  return true;
+}
+
+bool ValueCache::erase(ItemId item) {
+  auto it = entries_.find(item);
+  if (it == entries_.end()) return false;
+  by_value_.erase({it->second.value, item});
+  entries_.erase(it);
+  return true;
+}
+
+void ValueCache::evict_min() {
+  SPECPF_ASSERT(!by_value_.empty());
+  const auto [value, item] = *by_value_.begin();
+  by_value_.erase(by_value_.begin());
+  const EntryTag tag = entries_.at(item).tag;
+  entries_.erase(item);
+  ++stats_.evictions;
+  if (hook_) hook_(item, tag);
+}
+
+}  // namespace specpf

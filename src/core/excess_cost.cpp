@@ -1,0 +1,29 @@
+#include "core/excess_cost.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf::core {
+
+double retrieval_time_per_request(double utilization, double request_rate) {
+  SPECPF_EXPECTS(utilization >= 0.0 && utilization < 1.0);
+  SPECPF_EXPECTS(request_rate > 0.0);
+  return utilization / (request_rate * (1.0 - utilization));
+}
+
+double excess_cost(double rho, double rho_prime, double request_rate) {
+  SPECPF_EXPECTS(rho >= 0.0 && rho < 1.0);
+  SPECPF_EXPECTS(rho_prime >= 0.0 && rho_prime < 1.0);
+  SPECPF_EXPECTS(request_rate > 0.0);
+  return (rho - rho_prime) /
+         (request_rate * (1.0 - rho) * (1.0 - rho_prime));
+}
+
+double excess_cost(const SystemParams& params, const OperatingPoint& op,
+                   InteractionModel model) {
+  const PrefetchAnalysis a = analyze(params, op, model);
+  SPECPF_EXPECTS(a.conditions.total_within_capacity);
+  return excess_cost(a.utilization, a.baseline.utilization,
+                     params.request_rate);
+}
+
+}  // namespace specpf::core

@@ -1,0 +1,29 @@
+// Excess retrieval cost (paper §5, eqs. (23)–(27)).
+//
+// C = R − R' measures how much extra network time per user request
+// prefetching consumes, *including* the slowdown that the added load inflicts
+// on every transfer. The key phenomenon is "load impedance": prefetching the
+// same item costs more when the system is already busy, because
+// C = (ρ − ρ') / (λ(1−ρ)(1−ρ')) is convex in ρ.
+#pragma once
+
+#include "core/interaction.hpp"
+#include "core/params.hpp"
+
+namespace specpf::core {
+
+/// Retrieval time per user request, R = n̄(R)·r̄ = ρ/(λ(1−ρ)). Eq. (25).
+/// Requires 0 <= ρ < 1 and λ > 0.
+double retrieval_time_per_request(double utilization, double request_rate);
+
+/// Eq. (27): C = (ρ − ρ') / (λ(1−ρ)(1−ρ')). Generic in the prefetch-cache
+/// interaction: any model's ρ may be supplied.
+double excess_cost(double utilization_prefetch, double utilization_no_prefetch,
+                   double request_rate);
+
+/// Excess cost at an operating point under the given interaction model
+/// (computes ρ from the model, ρ' from the params, then applies eq. (27)).
+double excess_cost(const SystemParams& params, const OperatingPoint& op,
+                   InteractionModel model);
+
+}  // namespace specpf::core

@@ -1,0 +1,40 @@
+#include "core/hit_ratio_estimator.hpp"
+
+#include "util/contract.hpp"
+#include "util/math.hpp"
+
+namespace specpf::core {
+
+EntryTag HitRatioEstimator::on_cache_hit(EntryTag tag) {
+  ++naccess_;
+  if (tag == EntryTag::kTagged) {
+    ++nhit_;
+    return EntryTag::kTagged;
+  }
+  // First touch of a prefetched entry: not counted as a would-have-hit, but
+  // subsequent touches are (the item would by then be cached even without
+  // prefetching, having been demand-fetched at this access).
+  return EntryTag::kTagged;
+}
+
+void HitRatioEstimator::on_cache_miss() { ++naccess_; }
+
+double HitRatioEstimator::estimate_model_a() const {
+  return safe_div(static_cast<double>(nhit_), static_cast<double>(naccess_),
+                  0.0);
+}
+
+double HitRatioEstimator::estimate_model_b(double cache_items,
+                                           double prefetched_per_request) const {
+  SPECPF_EXPECTS(prefetched_per_request >= 0.0);
+  SPECPF_EXPECTS(cache_items > prefetched_per_request);
+  return estimate_model_a() * cache_items /
+         (cache_items - prefetched_per_request);
+}
+
+void HitRatioEstimator::reset() {
+  naccess_ = 0;
+  nhit_ = 0;
+}
+
+}  // namespace specpf::core

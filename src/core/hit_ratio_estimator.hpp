@@ -1,0 +1,59 @@
+// Online estimation of h' — the hit ratio the cache *would* have had without
+// prefetching — while prefetching is actually running (paper §4).
+//
+// Protocol (verbatim from the paper):
+//   * prefetched items enter the cache UNTAGGED;
+//   * an access to a TAGGED entry:   naccess++, nhit++;
+//   * an access to an UNTAGGED one:  naccess++, entry becomes TAGGED;
+//   * an access to a remote item:    naccess++, and if the item is admitted
+//     to the cache it enters TAGGED.
+// Then  ĥ' = nhit/naccess  under Model A, and
+//       ĥ' = nhit/naccess · n̄(C)/(n̄(C) − n̄(F))  under Model B.
+//
+// The intuition: an untagged hit is a hit *caused by* prefetching; only hits
+// on tagged entries (demand-admitted, or prefetched items already accessed
+// once) would have been hits in the prefetch-free cache.
+#pragma once
+
+#include <cstdint>
+
+namespace specpf::core {
+
+enum class EntryTag : std::uint8_t { kUntagged = 0, kTagged = 1 };
+
+class HitRatioEstimator {
+ public:
+  /// Tag for a freshly prefetched cache insertion.
+  static constexpr EntryTag prefetch_insert_tag() {
+    return EntryTag::kUntagged;
+  }
+
+  /// Tag for an item admitted to the cache on a demand fetch.
+  static constexpr EntryTag demand_insert_tag() { return EntryTag::kTagged; }
+
+  /// Records an access that hit a cache entry carrying `tag`. Returns the
+  /// tag the entry must carry afterwards (untagged entries become tagged).
+  EntryTag on_cache_hit(EntryTag tag);
+
+  /// Records an access that missed the cache (remote retrieval).
+  void on_cache_miss();
+
+  /// ĥ' under Model A: nhit / naccess. Zero before any access.
+  double estimate_model_a() const;
+
+  /// ĥ' under Model B: Model A estimate × n̄(C)/(n̄(C) − n̄(F)).
+  /// Requires cache_items > prefetched_per_request >= 0.
+  double estimate_model_b(double cache_items,
+                          double prefetched_per_request) const;
+
+  std::uint64_t accesses() const { return naccess_; }
+  std::uint64_t tagged_hits() const { return nhit_; }
+
+  void reset();
+
+ private:
+  std::uint64_t naccess_ = 0;
+  std::uint64_t nhit_ = 0;
+};
+
+}  // namespace specpf::core

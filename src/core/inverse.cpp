@@ -1,0 +1,135 @@
+#include "core/inverse.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contract.hpp"
+
+namespace specpf::core {
+
+double min_bandwidth_for_access_time(const SystemParams& params,
+                                     double target) {
+  params.validate();
+  SPECPF_EXPECTS(target > 0.0);
+  const double f = params.fault_ratio();
+  // From eq. (5): b = f's̄/T + f'λs̄. f' = 0 ⇒ any bandwidth (returns 0).
+  return f * params.mean_item_size / target +
+         f * params.request_rate * params.mean_item_size;
+}
+
+double min_bandwidth_for_access_time(const SystemParams& params,
+                                     const OperatingPoint& op,
+                                     InteractionModel model, double target) {
+  params.validate();
+  SPECPF_EXPECTS(target > 0.0);
+  const double q = victim_value(params, model);
+  const double h =
+      params.hit_ratio + op.prefetch_rate * (op.access_probability - q);
+  SPECPF_EXPECTS(h <= 1.0 + 1e-12);
+  const double miss = std::max(0.0, 1.0 - h);
+  // From eqs. (10)/(18): b = (1−h)s̄/T + (1−h+n̄(F))λs̄.
+  return miss * params.mean_item_size / target +
+         (miss + op.prefetch_rate) * params.request_rate *
+             params.mean_item_size;
+}
+
+double max_prefetch_rate_for_access_time(const SystemParams& params,
+                                         double p, InteractionModel model,
+                                         double target) {
+  params.validate();
+  SPECPF_EXPECTS(p > 0.0 && p <= 1.0);
+  SPECPF_EXPECTS(target > 0.0);
+  SPECPF_EXPECTS(params.stable_without_prefetch());
+
+  const double q = victim_value(params, model);
+  SPECPF_EXPECTS(p > q);
+  const double s = params.mean_item_size;
+  const double lambda = params.request_rate;
+  const double f = params.fault_ratio();
+  const double demand_margin = params.bandwidth - f * lambda * s;  // D0 > 0
+  const double extra_load_coeff = (1.0 - p + q) * lambda * s;      // E ≥ 0
+
+  // Admissible range: eq. (6) cap and the stability boundary.
+  const double max_np = f / p;
+  double nf_hi = max_np;
+  if (extra_load_coeff > 0.0) {
+    nf_hi = std::min(nf_hi, demand_margin / extra_load_coeff * (1.0 - 1e-12));
+  }
+
+  auto access_time = [&](double nf) {
+    return (f - nf * (p - q)) * s /
+           (demand_margin - nf * extra_load_coeff);
+  };
+  const double t0 = access_time(0.0);
+  const double t_hi = access_time(nf_hi);
+  // t̄ is monotone in n̄(F) on the stable interval.
+  if (t0 <= target && t_hi <= target) return nf_hi;
+  if (t0 > target && t_hi > target) return 0.0;
+
+  // Solve (f' − n̄F(p−q))s̄ = T(D0 − n̄F·E) for n̄F.
+  const double numerator = target * demand_margin - f * s;
+  const double denominator = target * extra_load_coeff - (p - q) * s;
+  if (denominator == 0.0) return 0.0;  // parallel: no crossing inside
+  return std::clamp(numerator / denominator, 0.0, nf_hi);
+}
+
+double max_prefetch_rate_for_utilization(const SystemParams& params, double p,
+                                         InteractionModel model,
+                                         double max_utilization) {
+  params.validate();
+  SPECPF_EXPECTS(p > 0.0 && p <= 1.0);
+  SPECPF_EXPECTS(max_utilization > 0.0 && max_utilization < 1.0);
+  const double q = victim_value(params, model);
+  SPECPF_EXPECTS(p > q);
+  const double rho_prime = params.utilization_no_prefetch();
+  const double max_np = params.fault_ratio() / p;
+  if (rho_prime >= max_utilization) return 0.0;
+  const double load_per_prefetch = (1.0 - p + q) * params.request_rate *
+                                   params.mean_item_size / params.bandwidth;
+  if (load_per_prefetch <= 0.0) return max_np;  // p=1, q=0: free capacity
+  return std::min(max_np, (max_utilization - rho_prime) / load_per_prefetch);
+}
+
+double min_probability_for_gain(const SystemParams& params,
+                                double prefetch_rate, InteractionModel model,
+                                double target_gain) {
+  params.validate();
+  SPECPF_EXPECTS(prefetch_rate > 0.0);
+  SPECPF_EXPECTS(target_gain >= 0.0);
+  SPECPF_EXPECTS(params.stable_without_prefetch());
+
+  const double q = victim_value(params, model);
+  const double s = params.mean_item_size;
+  const double b = params.bandwidth;
+  const double lambda = params.request_rate;
+  const double f = params.fault_ratio();
+  const double demand_margin = b - f * lambda * s;  // D0
+  // M0: the t̄ denominator at p = 0 (all prefetches wasted).
+  const double m0 =
+      demand_margin - prefetch_rate * (1.0 + q) * lambda * s;
+
+  const double denominator =
+      prefetch_rate * s * (b - target_gain * demand_margin * lambda);
+  if (denominator <= 0.0) {
+    return 2.0;  // no probability (even 1) can deliver that much gain
+  }
+  const double numerator =
+      target_gain * demand_margin * m0 +
+      prefetch_rate * s * (f * lambda * s + q * b);
+  return numerator / denominator;
+}
+
+double demand_growth_headroom(const SystemParams& params, double target) {
+  params.validate();
+  SPECPF_EXPECTS(target > 0.0);
+  const double f = params.fault_ratio();
+  const double s = params.mean_item_size;
+  if (f == 0.0 || params.request_rate == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Solve f's̄/(b − f'κλs̄) = T for the rate multiplier κ.
+  return (params.bandwidth - f * s / target) /
+         (f * params.request_rate * s);
+}
+
+}  // namespace specpf::core

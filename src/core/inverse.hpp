@@ -1,0 +1,67 @@
+// Inverse problems on the paper's closed forms — the QoS-provisioning
+// questions the paper's conclusion points at ("addressing QoS issues of
+// multimedia access in wired as well as wireless networks"):
+//
+//   * How much bandwidth does a target access time require?
+//   * How hard can we prefetch before a latency budget is violated?
+//   * How good must the predictor be for prefetching to pay at all?
+//
+// All are exact algebraic inversions of eqs. (5), (10) and (13); no
+// numerical root finding is needed.
+#pragma once
+
+#include "core/interaction.hpp"
+#include "core/params.hpp"
+
+namespace specpf::core {
+
+/// Minimum bandwidth for the *no-prefetch* system to meet
+/// t̄' ≤ target. Inverts eq. (5): b = f's̄/target + f'λs̄.
+/// Requires target > 0.
+double min_bandwidth_for_access_time(const SystemParams& params,
+                                     double target_access_time);
+
+/// Minimum bandwidth for the *prefetching* system at operating point `op`
+/// to meet t̄ ≤ target under the given interaction model. Inverts
+/// eqs. (10)/(18): with ĥ = h' + n̄(F)(p−q) fixed (independent of b),
+/// b = (1−ĥ)s̄/target + (1−ĥ+n̄(F))λs̄.
+double min_bandwidth_for_access_time(const SystemParams& params,
+                                     const OperatingPoint& op,
+                                     InteractionModel model,
+                                     double target_access_time);
+
+/// Largest prefetch rate n̄(F) that keeps the prefetching system's access
+/// time within `target`. Inverts t̄(n̄(F)) = target; the result is clamped
+/// to [0, max(np)] for consistency with eq. (6) and to the stability limit.
+/// When even n̄(F)=0 misses the target, returns 0; when the target is met
+/// at max(np), returns max(np).
+double max_prefetch_rate_for_access_time(const SystemParams& params,
+                                         double access_probability,
+                                         InteractionModel model,
+                                         double target_access_time);
+
+/// Largest prefetch rate n̄(F) keeping the post-prefetch utilisation within
+/// `max_utilization` (< 1): ρ(n̄F) = ρ' + n̄F(1−p+q)λs̄/b. Used to reserve
+/// capacity headroom for the variance/tail effects the mean-value closed
+/// forms ignore. Clamped to [0, max(np)]; p = 1 under Model A adds no load,
+/// giving the full max(np).
+double max_prefetch_rate_for_utilization(const SystemParams& params,
+                                         double access_probability,
+                                         InteractionModel model,
+                                         double max_utilization);
+
+/// Smallest access probability at which prefetching n̄(F) items per request
+/// achieves at least `target_gain` (> 0). Inverts eq. (11)/(19) in p. At
+/// target_gain → 0 this reduces to the threshold p_th. Returns a value > 1
+/// when no probability suffices (the caller should then not prefetch).
+double min_probability_for_gain(const SystemParams& params,
+                                double prefetch_rate, InteractionModel model,
+                                double target_gain);
+
+/// Bandwidth headroom multiplier: by how much demand traffic could grow
+/// (λ scaling) before the no-prefetch system violates `target`. Values
+/// below 1 mean the target is already violated.
+double demand_growth_headroom(const SystemParams& params,
+                              double target_access_time);
+
+}  // namespace specpf::core

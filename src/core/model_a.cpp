@@ -1,0 +1,64 @@
+#include "core/model_a.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf::core::model_a {
+
+namespace {
+void check(const SystemParams& params, double p, double nf) {
+  params.validate();
+  SPECPF_EXPECTS(p > 0.0 && p <= 1.0);
+  SPECPF_EXPECTS(nf >= 0.0);
+}
+}  // namespace
+
+double hit_ratio(const SystemParams& params, double p, double nf) {
+  check(params, p, nf);
+  return params.hit_ratio + nf * p;
+}
+
+double utilization(const SystemParams& params, double p, double nf) {
+  const double h = hit_ratio(params, p, nf);
+  return (1.0 - h + nf) * params.request_rate * params.mean_item_size /
+         params.bandwidth;
+}
+
+double retrieval_time(const SystemParams& params, double p, double nf) {
+  const double h = hit_ratio(params, p, nf);
+  return params.mean_item_size /
+         (params.bandwidth -
+          (1.0 - h + nf) * params.request_rate * params.mean_item_size);
+}
+
+double access_time(const SystemParams& params, double p, double nf) {
+  check(params, p, nf);
+  const double b = params.bandwidth;
+  const double lambda = params.request_rate;
+  const double s = params.mean_item_size;
+  const double f = params.fault_ratio();
+  return (f - nf * p) * s /
+         (b - f * lambda * s - nf * (1.0 - p) * lambda * s);
+}
+
+double gain(const SystemParams& params, double p, double nf) {
+  check(params, p, nf);
+  const double b = params.bandwidth;
+  const double lambda = params.request_rate;
+  const double s = params.mean_item_size;
+  const double f = params.fault_ratio();
+  return nf * s * (p * b - f * lambda * s) /
+         ((b - f * lambda * s) *
+          (b - f * lambda * s - nf * (1.0 - p) * lambda * s));
+}
+
+double threshold(const SystemParams& params) {
+  params.validate();
+  return params.utilization_no_prefetch();
+}
+
+double prefetch_limit_min_bandwidth(const SystemParams& params, double p) {
+  check(params, p, 0.0);
+  return params.fault_ratio() / p;
+}
+
+}  // namespace specpf::core::model_a

@@ -1,0 +1,34 @@
+// Model A — "evict zero-value items" (paper §3.1, eqs. (7)–(14)).
+//
+// These are the paper's formulas transcribed literally, independent of the
+// generalised implementation in interaction.hpp; the test suite checks that
+// the two agree to machine precision, which guards both transcriptions.
+#pragma once
+
+#include "core/params.hpp"
+
+namespace specpf::core::model_a {
+
+/// Eq. (7): h = h' + n̄(F)·p.
+double hit_ratio(const SystemParams& params, double p, double nf);
+
+/// Eq. (8): ρ = (1 − h + n̄(F))·λ·s̄/b.
+double utilization(const SystemParams& params, double p, double nf);
+
+/// Eq. (9): r̄ = s̄ / (b − (1 − h + n̄(F))·λ·s̄).
+double retrieval_time(const SystemParams& params, double p, double nf);
+
+/// Eq. (10): t̄ = (f' − n̄(F)p)·s̄ / (b − f'λs̄ − n̄(F)(1−p)λs̄).
+double access_time(const SystemParams& params, double p, double nf);
+
+/// Eq. (11): G = n̄(F)s̄(pb − f'λs̄) /
+///               ((b − f'λs̄)(b − f'λs̄ − n̄(F)(1−p)λs̄)).
+double gain(const SystemParams& params, double p, double nf);
+
+/// Eq. (13): p_th = f'λs̄/b = ρ'.
+double threshold(const SystemParams& params);
+
+/// Eq. (14) bound at the least useful bandwidth: n̄(F) < f'/p.
+double prefetch_limit_min_bandwidth(const SystemParams& params, double p);
+
+}  // namespace specpf::core::model_a

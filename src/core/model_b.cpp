@@ -1,0 +1,74 @@
+#include "core/model_b.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf::core::model_b {
+
+namespace {
+void check(const SystemParams& params, double p, double nf) {
+  params.validate();
+  SPECPF_EXPECTS(p > 0.0 && p <= 1.0);
+  SPECPF_EXPECTS(nf >= 0.0);
+}
+}  // namespace
+
+double hit_ratio(const SystemParams& params, double p, double nf) {
+  check(params, p, nf);
+  return params.hit_ratio - nf * params.hit_ratio / params.cache_items +
+         nf * p;
+}
+
+double utilization(const SystemParams& params, double p, double nf) {
+  const double h = hit_ratio(params, p, nf);
+  return (1.0 - h + nf) * params.request_rate * params.mean_item_size /
+         params.bandwidth;
+}
+
+double retrieval_time(const SystemParams& params, double p, double nf) {
+  const double h = hit_ratio(params, p, nf);
+  return params.mean_item_size /
+         (params.bandwidth -
+          (1.0 - h + nf) * params.request_rate * params.mean_item_size);
+}
+
+double access_time(const SystemParams& params, double p, double nf) {
+  check(params, p, nf);
+  const double b = params.bandwidth;
+  const double lambda = params.request_rate;
+  const double s = params.mean_item_size;
+  const double f = params.fault_ratio();
+  const double hp = params.hit_ratio;
+  const double nc = params.cache_items;
+  return (f + nf / nc * hp - nf * p) * s /
+         (b - f * lambda * s - nf / nc * hp * s * lambda -
+          nf * (1.0 - p) * lambda * s);
+}
+
+double gain(const SystemParams& params, double p, double nf) {
+  check(params, p, nf);
+  const double b = params.bandwidth;
+  const double lambda = params.request_rate;
+  const double s = params.mean_item_size;
+  const double f = params.fault_ratio();
+  const double hp = params.hit_ratio;
+  const double nc = params.cache_items;
+  return nf * s * (p * b - f * lambda * s - b * hp / nc) /
+         ((b - f * lambda * s) *
+          (b - f * lambda * s - nf / nc * hp * s * lambda -
+           nf * (1.0 - p) * lambda * s));
+}
+
+double threshold(const SystemParams& params) {
+  params.validate();
+  return params.utilization_no_prefetch() +
+         params.hit_ratio / params.cache_items;
+}
+
+double prefetch_limit_min_bandwidth(const SystemParams& params, double p) {
+  check(params, p, 0.0);
+  const double q = params.hit_ratio / params.cache_items;
+  SPECPF_EXPECTS(p > q);
+  return params.fault_ratio() / (p - q);
+}
+
+}  // namespace specpf::core::model_b

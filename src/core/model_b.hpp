@@ -1,0 +1,34 @@
+// Model B — "evict average-value items" (paper §3.2, eqs. (15)–(22)).
+//
+// Literal transcription of the paper's Model B formulas; the generalised
+// interaction.hpp implementation must agree (tested).
+#pragma once
+
+#include "core/params.hpp"
+
+namespace specpf::core::model_b {
+
+/// Eq. (15): h = h' − n̄(F)·h'/n̄(C) + n̄(F)·p.
+double hit_ratio(const SystemParams& params, double p, double nf);
+
+/// Eq. (16): ρ = (1 − h + n̄(F))·λ·s̄/b.
+double utilization(const SystemParams& params, double p, double nf);
+
+/// Eq. (17): r̄ = s̄ / (b − (1 − h + n̄(F))·λ·s̄).
+double retrieval_time(const SystemParams& params, double p, double nf);
+
+/// Eq. (18): t̄ = (f' + (n̄(F)/n̄(C))h' − n̄(F)p)·s̄ /
+///               (b − f'λs̄ − (n̄(F)/n̄(C))h's̄λ − n̄(F)(1−p)λs̄).
+double access_time(const SystemParams& params, double p, double nf);
+
+/// Eq. (19): G = n̄(F)s̄(pb − f'λs̄ − bh'/n̄(C)) /
+///               ((b − f'λs̄)(b − f'λs̄ − (n̄(F)/n̄(C))h's̄λ − n̄(F)(1−p)λs̄)).
+double gain(const SystemParams& params, double p, double nf);
+
+/// Eq. (21): p_th = f'λs̄/b + h'/n̄(C) = ρ' + h'/n̄(C).
+double threshold(const SystemParams& params);
+
+/// Eq. (22) bound at the least useful bandwidth: n̄(F) < f'/(p − h'/n̄(C)).
+double prefetch_limit_min_bandwidth(const SystemParams& params, double p);
+
+}  // namespace specpf::core::model_b

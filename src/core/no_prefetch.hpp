@@ -1,0 +1,19 @@
+// Baseline: average access time with caching only (paper §2.3).
+#pragma once
+
+#include "core/params.hpp"
+
+namespace specpf::core {
+
+/// Closed-form performance of the cache-only system.
+struct NoPrefetchResult {
+  double utilization = 0.0;     ///< ρ' = f'λs̄/b
+  double retrieval_time = 0.0;  ///< r̄' = s̄ / (b(1-ρ')), paper eq. (4)
+  double access_time = 0.0;     ///< t̄' = f's̄ / (b - f'λs̄), paper eq. (5)
+};
+
+/// Evaluates eqs. (4)–(5). Requires ρ' < 1 (the paper's standing stability
+/// assumption; condition 2 of (12)).
+NoPrefetchResult analyze_no_prefetch(const SystemParams& params);
+
+}  // namespace specpf::core

@@ -1,0 +1,20 @@
+#include "core/params.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf::core {
+
+void SystemParams::validate() const {
+  SPECPF_EXPECTS(bandwidth > 0.0);
+  SPECPF_EXPECTS(request_rate >= 0.0);
+  SPECPF_EXPECTS(mean_item_size > 0.0);
+  SPECPF_EXPECTS(hit_ratio >= 0.0 && hit_ratio <= 1.0);
+  SPECPF_EXPECTS(cache_items > 0.0);
+}
+
+double max_candidates(const SystemParams& params, double access_probability) {
+  SPECPF_EXPECTS(access_probability > 0.0 && access_probability <= 1.0);
+  return params.fault_ratio() / access_probability;
+}
+
+}  // namespace specpf::core

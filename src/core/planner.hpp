@@ -1,0 +1,71 @@
+// PrefetchPlanner — turns the paper's headline result into a decision
+// procedure: given a set of candidate items with estimated access
+// probabilities, *prefetch exclusively all items with p > p_th*.
+//
+// The paper's closed forms assume every prefetched item shares one
+// probability p. The planner generalises the prediction to heterogeneous
+// candidates by replacing n̄(F)·p with Σᵢ pᵢ (each selected item contributes
+// its own probability to the hit ratio and its own unit of prefetch load),
+// which reduces to the paper's forms when all pᵢ are equal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interaction.hpp"
+#include "core/params.hpp"
+
+namespace specpf::core {
+
+/// A prefetch candidate: an item id and its estimated access probability.
+struct Candidate {
+  std::uint64_t item = 0;
+  double probability = 0.0;
+};
+
+/// Outcome of planning one request's prefetches.
+struct PrefetchPlan {
+  std::vector<Candidate> selected;  ///< all candidates with p > p_th
+  double threshold = 0.0;           ///< p_th used for the decision
+  double probability_mass = 0.0;    ///< Σ p over selected items
+  /// Closed-form prediction of the post-prefetch operating point, with
+  /// n̄(F) = selected.size() and Σp in place of n̄(F)·p.
+  double predicted_hit_ratio = 0.0;
+  double predicted_utilization = 0.0;
+  double predicted_access_time = 0.0;
+  double predicted_gain = 0.0;
+  double predicted_excess_cost = 0.0;
+  bool feasible = false;  ///< predicted system stays stable (condition 3)
+};
+
+class PrefetchPlanner {
+ public:
+  PrefetchPlanner(SystemParams params, InteractionModel model);
+
+  /// Selects every candidate whose probability strictly exceeds p_th
+  /// (the paper's exclusive-threshold rule) and evaluates the closed-form
+  /// prediction for the resulting batch.
+  PrefetchPlan plan(const std::vector<Candidate>& candidates) const;
+
+  /// Same rule but with the number of selections capped (for ablations that
+  /// compare against budgeted policies). Highest-probability items win.
+  PrefetchPlan plan_with_budget(const std::vector<Candidate>& candidates,
+                                std::size_t max_items) const;
+
+  /// The decision threshold p_th for the configured model.
+  double threshold() const;
+
+  /// Updates the system parameters (e.g. as the online h' estimate or the
+  /// measured load changes).
+  void set_params(SystemParams params);
+  const SystemParams& params() const { return params_; }
+  InteractionModel model() const { return model_; }
+
+ private:
+  PrefetchPlan evaluate(std::vector<Candidate> selected) const;
+
+  SystemParams params_;
+  InteractionModel model_;
+};
+
+}  // namespace specpf::core

@@ -1,0 +1,57 @@
+#include "des/simulator.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+EventId Simulator::schedule_at(double when, Action action) {
+  SPECPF_EXPECTS(when >= now_);
+  auto token = std::make_shared<bool>(false);
+  queue_.push(Entry{when, next_seq_++, std::move(action), token});
+  return EventId(std::move(token));
+}
+
+EventId Simulator::schedule_in(double delay, Action action) {
+  SPECPF_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::cancel(const EventId& id) {
+  if (id.token_) *id.token_ = true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast is UB-adjacent,
+    // so copy the small fields and move the action after pop via a local.
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (*entry.cancelled) continue;  // tombstone
+    now_ = entry.time;
+    ++executed_;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(double end_time) {
+  SPECPF_EXPECTS(end_time >= now_);
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > end_time) break;
+    step();
+  }
+  now_ = end_time;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace specpf

@@ -1,0 +1,83 @@
+// Deterministic discrete-event simulation core.
+//
+// Events are closures ordered by (time, insertion sequence); the sequence
+// tie-break makes runs bit-reproducible regardless of how many events share a
+// timestamp. Cancellation is O(1) via tombstones — cancelled events stay in
+// the heap and are skipped on pop (lazy deletion), which keeps the hot path
+// a plain binary-heap push/pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace specpf {
+
+/// Opaque handle for cancelling a scheduled event.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return token_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::shared_ptr<bool> token) : token_(std::move(token)) {}
+  std::shared_ptr<bool> token_;  // *token_ == true => cancelled
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time (seconds).
+  double now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `when` (>= now). Returns a handle
+  /// usable with cancel().
+  EventId schedule_at(double when, Action action);
+
+  /// Schedules `action` after a non-negative delay.
+  EventId schedule_in(double delay, Action action);
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(const EventId& id);
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or the clock passes `end_time`. Events at
+  /// exactly `end_time` are executed.
+  void run_until(double end_time);
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Number of events executed so far (excludes cancelled).
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Events currently pending (including not-yet-collected tombstones).
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,51 @@
+#include "net/server.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+Server::Server(Simulator& sim, double bandwidth)
+    : sim_(sim), bandwidth_(bandwidth) {
+  SPECPF_EXPECTS(bandwidth > 0.0);
+  jobs_in_system_.start(sim.now(), 0.0);
+  busy_.start(sim.now(), 0.0);
+}
+
+void Server::reset_stats() {
+  sojourns_.reset();
+  service_demand_sum_ = 0.0;
+  stats_origin_ = sim_.now();
+  jobs_in_system_.start(sim_.now(), static_cast<double>(live_jobs_));
+  busy_.start(sim_.now(), live_jobs_ > 0 ? 1.0 : 0.0);
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.completed = sojourns_.count();
+  out.mean_sojourn = sojourns_.mean();
+  out.mean_jobs_in_system = jobs_in_system_.average_until(sim_.now());
+  out.utilization = busy_.average_until(sim_.now());
+  out.total_service_demand = service_demand_sum_;
+  return out;
+}
+
+void Server::record_arrival() {
+  ++live_jobs_;
+  jobs_in_system_.update(sim_.now(), static_cast<double>(live_jobs_));
+  busy_.update(sim_.now(), 1.0);
+}
+
+void Server::record_completion(const TransferResult& result) {
+  SPECPF_ASSERT(live_jobs_ > 0);
+  --live_jobs_;
+  jobs_in_system_.update(sim_.now(), static_cast<double>(live_jobs_));
+  busy_.update(sim_.now(), live_jobs_ > 0 ? 1.0 : 0.0);
+  // Only count completions whose lifetime lies fully inside the window, so
+  // warmup truncation does not bias sojourns downward.
+  if (result.submit_time >= stats_origin_) {
+    sojourns_.add(result.sojourn());
+    service_demand_sum_ += result.size / bandwidth_;
+  }
+}
+
+}  // namespace specpf

@@ -1,0 +1,34 @@
+// Prefetch policies: given a predictor's candidate list and the current
+// system estimate, decide what to actually prefetch. The paper's
+// contribution is ThresholdPolicy; the others are the heuristics that §1
+// says practitioners resort to, kept as baselines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/planner.hpp"
+
+namespace specpf {
+
+/// Current system state as known to the policy (parameters may come from
+/// configuration or from online estimation — see sim/proxy_sim).
+struct PolicyContext {
+  core::SystemParams params;  ///< b, λ, s̄, ĥ', n̄(C)
+};
+
+class PrefetchPolicy {
+ public:
+  virtual ~PrefetchPolicy() = default;
+
+  /// Chooses the subset of `predictions` to prefetch.
+  virtual std::vector<core::Candidate> select(
+      const std::vector<core::Candidate>& predictions,
+      const PolicyContext& ctx) = 0;
+
+  /// Short identifier for report tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,65 @@
+#include "predict/dependency_graph.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+DependencyGraphPredictor::DependencyGraphPredictor(std::size_t lookahead)
+    : lookahead_(lookahead) {
+  SPECPF_EXPECTS(lookahead >= 1);
+}
+
+void DependencyGraphPredictor::observe(UserId user, std::uint64_t item) {
+  auto& window = window_[user];
+  // Credit `item` as a follower of each access still inside the window —
+  // at most once per occurrence (count distinct followers per window slot).
+  std::unordered_set<std::uint64_t> credited;
+  for (std::uint64_t predecessor : window) {
+    if (predecessor == item) continue;
+    if (!credited.insert(predecessor).second) continue;
+    ++graph_[predecessor].followers[item];
+  }
+  ++graph_[item].occurrences;
+  window.push_back(item);
+  if (window.size() > lookahead_) window.pop_front();
+}
+
+std::vector<Candidate> DependencyGraphPredictor::predict(
+    UserId user, std::size_t max_candidates) const {
+  auto window_it = window_.find(user);
+  if (window_it == window_.end() || window_it->second.empty()) return {};
+  const std::uint64_t current = window_it->second.back();
+  auto node_it = graph_.find(current);
+  if (node_it == graph_.end() || node_it->second.occurrences == 0) return {};
+
+  const NodeCounts& node = node_it->second;
+  std::vector<Candidate> out;
+  out.reserve(node.followers.size());
+  const double occurrences = static_cast<double>(node.occurrences);
+  for (const auto& [item, count] : node.followers) {
+    // P(B follows A within w) estimated as count / occurrences(A); clip to 1
+    // (a follower can be credited once per occurrence, so this stays <= 1).
+    out.push_back(
+        Candidate{item, std::min(1.0, static_cast<double>(count) / occurrences)});
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.probability != b.probability) return a.probability > b.probability;
+    return a.item < b.item;
+  });
+  if (out.size() > max_candidates) out.resize(max_candidates);
+  return out;
+}
+
+double DependencyGraphPredictor::dependency_probability(std::uint64_t a,
+                                                        std::uint64_t b) const {
+  auto node_it = graph_.find(a);
+  if (node_it == graph_.end() || node_it->second.occurrences == 0) return 0.0;
+  auto f_it = node_it->second.followers.find(b);
+  if (f_it == node_it->second.followers.end()) return 0.0;
+  return static_cast<double>(f_it->second) /
+         static_cast<double>(node_it->second.occurrences);
+}
+
+}  // namespace specpf

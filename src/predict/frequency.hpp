@@ -1,0 +1,27 @@
+// Global-frequency predictor: P(item) = global request share, ignoring
+// context entirely. The weakest meaningful baseline — exactly the IRM
+// stationary distribution when the workload really is IRM.
+#pragma once
+
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace specpf {
+
+class FrequencyPredictor final : public Predictor {
+ public:
+  FrequencyPredictor() = default;
+
+  void observe(UserId user, std::uint64_t item) override;
+  std::vector<Candidate> predict(UserId user,
+                                 std::size_t max_candidates) const override;
+
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace specpf

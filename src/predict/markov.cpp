@@ -1,0 +1,59 @@
+#include "predict/markov.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+MarkovPredictor::MarkovPredictor(double laplace) : laplace_(laplace) {
+  SPECPF_EXPECTS(laplace >= 0.0);
+}
+
+void MarkovPredictor::observe(UserId user, std::uint64_t item) {
+  ++observations_;
+  auto has_it = has_last_.find(user);
+  if (has_it != has_last_.end() && has_it->second) {
+    NodeCounts& node = counts_[last_item_[user]];
+    ++node.successors[item];
+    ++node.total;
+  }
+  last_item_[user] = item;
+  has_last_[user] = true;
+}
+
+std::vector<Candidate> MarkovPredictor::predict(
+    UserId user, std::size_t max_candidates) const {
+  auto has_it = has_last_.find(user);
+  if (has_it == has_last_.end() || !has_it->second) return {};
+  auto node_it = counts_.find(last_item_.at(user));
+  if (node_it == counts_.end() || node_it->second.total == 0) return {};
+
+  const NodeCounts& node = node_it->second;
+  const double denom = static_cast<double>(node.total) +
+                       laplace_ * static_cast<double>(node.successors.size());
+  std::vector<Candidate> out;
+  out.reserve(node.successors.size());
+  for (const auto& [item, count] : node.successors) {
+    out.push_back(
+        Candidate{item, (static_cast<double>(count) + laplace_) / denom});
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.probability != b.probability) return a.probability > b.probability;
+    return a.item < b.item;  // deterministic tie order
+  });
+  if (out.size() > max_candidates) out.resize(max_candidates);
+  return out;
+}
+
+double MarkovPredictor::transition_probability(std::uint64_t current,
+                                               std::uint64_t next) const {
+  auto node_it = counts_.find(current);
+  if (node_it == counts_.end() || node_it->second.total == 0) return 0.0;
+  auto succ_it = node_it->second.successors.find(next);
+  if (succ_it == node_it->second.successors.end()) return 0.0;
+  return static_cast<double>(succ_it->second) /
+         static_cast<double>(node_it->second.total);
+}
+
+}  // namespace specpf

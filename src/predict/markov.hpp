@@ -1,0 +1,41 @@
+// First-order Markov predictor: P(next=j | current=i) estimated from
+// transition counts. The simplest member of the Vitter–Krishnan family of
+// Markov access models.
+#pragma once
+
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace specpf {
+
+class MarkovPredictor final : public Predictor {
+ public:
+  /// `laplace` adds-α smoothing mass spread over seen successors; 0 gives
+  /// pure maximum-likelihood estimates.
+  explicit MarkovPredictor(double laplace = 0.0);
+
+  void observe(UserId user, std::uint64_t item) override;
+  std::vector<Candidate> predict(UserId user,
+                                 std::size_t max_candidates) const override;
+
+  /// ML estimate of P(next | current); 0 when the pair is unseen.
+  double transition_probability(std::uint64_t current,
+                                std::uint64_t next) const;
+
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  struct NodeCounts {
+    std::unordered_map<std::uint64_t, std::uint64_t> successors;
+    std::uint64_t total = 0;
+  };
+
+  double laplace_;
+  std::unordered_map<std::uint64_t, NodeCounts> counts_;
+  std::unordered_map<UserId, std::uint64_t> last_item_;
+  std::unordered_map<UserId, bool> has_last_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,34 @@
+// Access predictors: the "access model" component that previous work
+// focused on (paper §1.1), supplying the access probabilities p that the
+// paper's threshold rule consumes.
+//
+// A predictor observes the per-user access sequence and, on demand, ranks
+// candidate items with estimated probabilities of being requested next.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/planner.hpp"
+
+namespace specpf {
+
+using core::Candidate;
+using UserId = std::uint32_t;
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Feeds one observed access into the model.
+  virtual void observe(UserId user, std::uint64_t item) = 0;
+
+  /// Predicts the next-access distribution for `user` after their latest
+  /// observed access. Probabilities are in [0,1]; the vector may be empty
+  /// when the model has no basis for prediction. At most `max_candidates`
+  /// entries, highest probability first.
+  virtual std::vector<Candidate> predict(UserId user,
+                                         std::size_t max_candidates) const = 0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,30 @@
+#include "queueing/mg1_ps.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+MG1PS::MG1PS(double arrival_rate, double mean_service)
+    : arrival_rate_(arrival_rate), mean_service_(mean_service) {
+  SPECPF_EXPECTS(arrival_rate >= 0.0);
+  SPECPF_EXPECTS(mean_service > 0.0);
+}
+
+double MG1PS::mean_sojourn_for(double service_time) const {
+  SPECPF_EXPECTS(service_time >= 0.0);
+  SPECPF_EXPECTS(stable());
+  return service_time / (1.0 - utilization());
+}
+
+double MG1PS::mean_jobs_in_system() const {
+  SPECPF_EXPECTS(stable());
+  const double rho = utilization();
+  return rho / (1.0 - rho);
+}
+
+double MG1PS::slowdown() const {
+  SPECPF_EXPECTS(stable());
+  return 1.0 / (1.0 - utilization());
+}
+
+}  // namespace specpf

@@ -1,0 +1,43 @@
+// M/G/1 processor-sharing (round-robin) queue — the paper's network model.
+//
+// Kleinrock (Queueing Systems Vol. 2): in an M/G/1-PS system the conditional
+// mean sojourn time of a job needing service time x is x/(1-ρ), independent
+// of the service-time distribution beyond its mean. Equation (2) of the
+// paper. The DES server in src/net realises this queue; tests check the
+// simulation against these forms.
+#pragma once
+
+namespace specpf {
+
+class MG1PS {
+ public:
+  /// `arrival_rate` jobs/s, `mean_service` seconds of work per job.
+  MG1PS(double arrival_rate, double mean_service);
+
+  /// Offered load ρ = λ·x̄.
+  double utilization() const noexcept { return arrival_rate_ * mean_service_; }
+
+  /// True when ρ < 1 (finite stationary sojourn times).
+  bool stable() const noexcept { return utilization() < 1.0; }
+
+  /// E[T | service = x] = x / (1-ρ). Paper eq. (2). Requires stability.
+  double mean_sojourn_for(double service_time) const;
+
+  /// Unconditional mean sojourn E[T] = x̄/(1-ρ).
+  double mean_sojourn() const { return mean_sojourn_for(mean_service_); }
+
+  /// Mean number in system via Little's law: N = λ·E[T] = ρ/(1-ρ).
+  double mean_jobs_in_system() const;
+
+  /// The PS "slowdown" factor 1/(1-ρ): ratio of sojourn to service time.
+  double slowdown() const;
+
+  double arrival_rate() const noexcept { return arrival_rate_; }
+  double mean_service() const noexcept { return mean_service_; }
+
+ private:
+  double arrival_rate_;
+  double mean_service_;
+};
+
+}  // namespace specpf

@@ -1,0 +1,47 @@
+#include "queueing/mm1.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+MM1::MM1(double arrival_rate, double service_rate)
+    : arrival_rate_(arrival_rate), service_rate_(service_rate) {
+  SPECPF_EXPECTS(arrival_rate >= 0.0);
+  SPECPF_EXPECTS(service_rate > 0.0);
+}
+
+double MM1::mean_sojourn() const {
+  SPECPF_EXPECTS(stable());
+  return 1.0 / (service_rate_ - arrival_rate_);
+}
+
+double MM1::mean_wait() const {
+  SPECPF_EXPECTS(stable());
+  return utilization() / (service_rate_ - arrival_rate_);
+}
+
+double MM1::mean_jobs_in_system() const {
+  SPECPF_EXPECTS(stable());
+  const double rho = utilization();
+  return rho / (1.0 - rho);
+}
+
+double MM1::prob_n_jobs(std::size_t n) const {
+  SPECPF_EXPECTS(stable());
+  const double rho = utilization();
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+double mg1_fcfs_mean_wait(double arrival_rate, double mean_service,
+                          double service_second_moment) {
+  SPECPF_EXPECTS(arrival_rate >= 0.0);
+  SPECPF_EXPECTS(mean_service > 0.0);
+  SPECPF_EXPECTS(service_second_moment >= mean_service * mean_service);
+  const double rho = arrival_rate * mean_service;
+  SPECPF_EXPECTS(rho < 1.0);
+  return arrival_rate * service_second_moment / (2.0 * (1.0 - rho));
+}
+
+}  // namespace specpf

@@ -1,0 +1,39 @@
+// M/M/1 FCFS closed forms. Not used by the paper's model directly; serves as
+// the contrast case in the PS-vs-FIFO ablation (a FIFO server's sojourn is
+// sensitive to service-time variance, PS is not).
+#pragma once
+
+#include <cstddef>
+
+namespace specpf {
+
+class MM1 {
+ public:
+  MM1(double arrival_rate, double service_rate);
+
+  double utilization() const noexcept { return arrival_rate_ / service_rate_; }
+  bool stable() const noexcept { return utilization() < 1.0; }
+
+  /// E[T] = 1/(μ-λ).
+  double mean_sojourn() const;
+
+  /// E[W] = ρ/(μ-λ), waiting time excluding service.
+  double mean_wait() const;
+
+  /// E[N] = ρ/(1-ρ).
+  double mean_jobs_in_system() const;
+
+  /// Stationary P(N = n) = (1-ρ)ρ^n.
+  double prob_n_jobs(std::size_t n) const;
+
+ private:
+  double arrival_rate_;
+  double service_rate_;
+};
+
+/// Mean waiting time in an M/G/1 FCFS queue (Pollaczek–Khinchine):
+/// W = λ E[S²] / (2(1-ρ)). Used to predict FIFO behaviour for general sizes.
+double mg1_fcfs_mean_wait(double arrival_rate, double mean_service,
+                          double service_second_moment);
+
+}  // namespace specpf

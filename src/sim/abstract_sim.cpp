@@ -1,0 +1,194 @@
+#include "sim/abstract_sim.hpp"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/ps_server.hpp"
+#include "util/contract.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+
+void AbstractSimConfig::validate() const {
+  params.validate();
+  SPECPF_EXPECTS(op.access_probability > 0.0 && op.access_probability <= 1.0);
+  SPECPF_EXPECTS(op.prefetch_rate >= 0.0);
+  SPECPF_EXPECTS(duration > 0.0);
+  SPECPF_EXPECTS(warmup >= 0.0);
+  SPECPF_EXPECTS(params.request_rate > 0.0);
+  // Probability-consistency constraints of §3: n̄(F)·p ≤ f' (eq. 6) and the
+  // eviction loss cannot exceed the existing hit mass.
+  const double q = core::victim_value(params, model);
+  SPECPF_EXPECTS(op.prefetch_rate * op.access_probability <=
+                 params.fault_ratio() + 1e-12);
+  SPECPF_EXPECTS(op.prefetch_rate * q <= params.hit_ratio + 1e-12);
+}
+
+AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
+  config.validate();
+
+  Simulator sim;
+  PsServer server(sim, config.params.bandwidth);
+  Rng rng(config.seed);
+  SimMetrics metrics;
+
+  std::unique_ptr<Distribution> size_dist;
+  switch (config.size_dist) {
+    case AbstractSimConfig::SizeDist::kFixed:
+      size_dist =
+          std::make_unique<DeterministicDist>(config.params.mean_item_size);
+      break;
+    case AbstractSimConfig::SizeDist::kExponential:
+      size_dist =
+          std::make_unique<ExponentialDist>(config.params.mean_item_size);
+      break;
+  }
+
+  const double q = core::victim_value(config.params, config.model);
+  // Request classes (see header): surviving base hits, prefetched hits, miss.
+  const double p_base =
+      config.params.hit_ratio - config.op.prefetch_rate * q;
+  const double p_pref =
+      config.op.prefetch_rate * config.op.access_probability;
+  SPECPF_ASSERT(p_base >= -1e-12);
+  SPECPF_ASSERT(p_base + p_pref <= 1.0 + 1e-12);
+
+  const double lambda = config.params.request_rate;
+  const double dispatch_delay_mean = config.prefetch_dispatch_delay_mean < 0.0
+                                         ? 1.0 / lambda
+                                         : config.prefetch_dispatch_delay_mean;
+  const double end_time = config.warmup + config.duration;
+  const std::size_t whole_prefetches =
+      static_cast<std::size_t>(std::floor(config.op.prefetch_rate));
+  const double frac_prefetch =
+      config.op.prefetch_rate - static_cast<double>(whole_prefetches);
+
+  bool measuring = config.warmup == 0.0;
+  std::set<std::uint64_t> outstanding_prefetches;
+  std::map<std::uint64_t, std::vector<double>> prefetch_waiters;
+  ServerStats horizon_stats;
+
+  ExponentialDist interarrival(1.0 / lambda);
+
+  auto submit_prefetch = [&](double size) {
+    const bool count = measuring;
+    const std::uint64_t id =
+        server.submit(size, [&, count](const TransferResult& r) {
+          if (count) metrics.record_prefetch_retrieval(r.sojourn());
+          outstanding_prefetches.erase(r.job_id);
+          auto it = prefetch_waiters.find(r.job_id);
+          if (it != prefetch_waiters.end()) {
+            for (double request_time : it->second) {
+              metrics.record_inflight_hit(sim.now() - request_time);
+            }
+            prefetch_waiters.erase(it);
+          }
+        });
+    outstanding_prefetches.insert(id);
+  };
+
+  // Independent Poisson prefetch stream of rate n̄(F)·λ (the paper's model;
+  // see PrefetchDispatch). Uses its own RNG so the demand classification
+  // sequence is identical across dispatch modes with the same seed.
+  Rng prefetch_rng = Rng(config.seed).substream(0x9F);
+  const double prefetch_rate = config.op.prefetch_rate * lambda;
+  std::function<void()> prefetch_arrival;
+  if (config.prefetch_dispatch ==
+          AbstractSimConfig::PrefetchDispatch::kIndependentPoisson &&
+      prefetch_rate > 0.0) {
+    prefetch_arrival = [&] {
+      submit_prefetch(size_dist->sample(prefetch_rng));
+      const double dt =
+          -std::log1p(-prefetch_rng.next_double()) / prefetch_rate;
+      if (sim.now() + dt <= end_time) sim.schedule_in(dt, prefetch_arrival);
+    };
+    const double first =
+        -std::log1p(-prefetch_rng.next_double()) / prefetch_rate;
+    if (first <= end_time) sim.schedule_in(first, prefetch_arrival);
+  }
+
+  std::function<void()> arrival = [&] {
+    // --- classify this request ---
+    const double u = rng.next_double();
+    if (u < p_base) {
+      if (measuring) metrics.record_hit();
+    } else if (u < p_base + p_pref) {
+      if (config.inflight_wait && !outstanding_prefetches.empty()) {
+        // Attach to the oldest outstanding prefetch; the user waits for its
+        // remaining transfer time.
+        const std::uint64_t job = *outstanding_prefetches.begin();
+        if (measuring) prefetch_waiters[job].push_back(sim.now());
+      } else if (measuring) {
+        metrics.record_hit();
+      }
+    } else {
+      const bool count = measuring;
+      server.submit(size_dist->sample(rng),
+                    [&metrics, count](const TransferResult& r) {
+                      if (count) {
+                        metrics.record_miss(r.sojourn());
+                        metrics.record_demand_retrieval(r.sojourn());
+                      }
+                    });
+    }
+
+    // --- issue prefetches for this request (per-request modes only) ---
+    if (config.prefetch_dispatch !=
+        AbstractSimConfig::PrefetchDispatch::kIndependentPoisson) {
+      std::size_t prefetches = whole_prefetches;
+      if (frac_prefetch > 0.0 && rng.bernoulli(frac_prefetch)) ++prefetches;
+      for (std::size_t i = 0; i < prefetches; ++i) {
+        const double dispatch_delay =
+            config.prefetch_dispatch ==
+                    AbstractSimConfig::PrefetchDispatch::kPerRequestDelayed
+                ? -dispatch_delay_mean * std::log1p(-rng.next_double())
+                : 0.0;
+        const double size = size_dist->sample(rng);
+        sim.schedule_in(dispatch_delay,
+                        [&, size] { submit_prefetch(size); });
+      }
+    }
+
+    // --- next arrival ---
+    const double dt = interarrival.sample(rng);
+    if (sim.now() + dt <= end_time) {
+      sim.schedule_in(dt, arrival);
+    }
+  };
+
+  sim.schedule_in(interarrival.sample(rng), arrival);
+  if (config.warmup > 0.0) {
+    sim.schedule_at(config.warmup, [&] {
+      measuring = true;
+      metrics.reset();
+      server.reset_stats();
+    });
+  }
+  // Snapshot utilisation at the horizon, *before* the drain tail.
+  sim.schedule_at(end_time, [&] { horizon_stats = server.stats(); });
+
+  sim.run_until(end_time);
+  // Drain in-flight jobs so every issued request gets its access recorded.
+  sim.run();
+
+  AbstractSimResult out;
+  out.hit_ratio = metrics.hit_ratio();
+  out.mean_access_time = metrics.mean_access_time();
+  out.access_time_std_error = metrics.access_time_stats().std_error();
+  out.server_utilization = horizon_stats.utilization;
+  out.retrieval_time_per_request = metrics.retrieval_time_per_request();
+  out.retrievals_per_request = metrics.retrievals_per_request();
+  out.mean_demand_sojourn = metrics.mean_demand_sojourn();
+  out.requests = metrics.requests();
+  out.demand_jobs = metrics.demand_retrievals();
+  out.prefetch_jobs = metrics.prefetch_retrievals();
+  return out;
+}
+
+}  // namespace specpf

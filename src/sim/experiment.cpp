@@ -1,0 +1,53 @@
+#include "sim/experiment.hpp"
+
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace specpf {
+
+AbstractBatchResult run_abstract_replications(const AbstractSimConfig& config,
+                                              std::size_t replications,
+                                              bool parallel,
+                                              double confidence) {
+  SPECPF_EXPECTS(replications >= 1);
+  std::vector<AbstractSimResult> results(replications);
+  Rng seeder(config.seed);
+
+  std::vector<std::uint64_t> seeds(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    seeds[i] = seeder.substream(i).next_u64();
+  }
+
+  auto run_one = [&](std::size_t i) {
+    AbstractSimConfig rep = config;
+    rep.seed = seeds[i];
+    results[i] = run_abstract_sim(rep);
+  };
+
+  if (parallel && replications > 1) {
+    parallel_for(default_pool(), replications, run_one);
+  } else {
+    for (std::size_t i = 0; i < replications; ++i) run_one(i);
+  }
+
+  std::vector<double> access, hit, util, rpr, sojourn;
+  AbstractBatchResult out;
+  for (const auto& r : results) {
+    access.push_back(r.mean_access_time);
+    hit.push_back(r.hit_ratio);
+    util.push_back(r.server_utilization);
+    rpr.push_back(r.retrieval_time_per_request);
+    sojourn.push_back(r.mean_demand_sojourn);
+    out.total_requests += r.requests;
+  }
+  out.access_time = t_interval(access, confidence);
+  out.hit_ratio = t_interval(hit, confidence);
+  out.utilization = t_interval(util, confidence);
+  out.retrieval_per_request = t_interval(rpr, confidence);
+  out.demand_sojourn = t_interval(sojourn, confidence);
+  out.replications = replications;
+  return out;
+}
+
+}  // namespace specpf

@@ -1,0 +1,32 @@
+// Replication and sweep harness: runs independent replications (substream
+// seeds) of a simulation in parallel and aggregates Student-t confidence
+// intervals — the standard terminating-simulation methodology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/abstract_sim.hpp"
+#include "stats/confidence.hpp"
+
+namespace specpf {
+
+/// Aggregated replications of the abstract validation simulator.
+struct AbstractBatchResult {
+  ConfidenceInterval access_time;
+  ConfidenceInterval hit_ratio;
+  ConfidenceInterval utilization;
+  ConfidenceInterval retrieval_per_request;
+  ConfidenceInterval demand_sojourn;
+  std::size_t replications = 0;
+  std::uint64_t total_requests = 0;
+};
+
+/// Runs `replications` independent copies of `config` (seeds derived from
+/// config.seed via substreams), optionally on the process thread pool.
+AbstractBatchResult run_abstract_replications(const AbstractSimConfig& config,
+                                              std::size_t replications,
+                                              bool parallel = true,
+                                              double confidence = 0.95);
+
+}  // namespace specpf

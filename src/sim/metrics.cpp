@@ -1,0 +1,47 @@
+#include "sim/metrics.hpp"
+
+#include "util/math.hpp"
+
+namespace specpf {
+
+void SimMetrics::record_access(double access_time, bool hit) {
+  ++requests_;
+  if (hit) ++hits_;
+  access_times_.add(access_time);
+}
+
+void SimMetrics::record_demand_retrieval(double sojourn) {
+  demand_sojourns_.add(sojourn);
+}
+
+void SimMetrics::record_prefetch_retrieval(double sojourn) {
+  prefetch_sojourns_.add(sojourn);
+}
+
+double SimMetrics::hit_ratio() const {
+  return safe_div(static_cast<double>(hits_), static_cast<double>(requests_),
+                  0.0);
+}
+
+double SimMetrics::retrieval_time_per_request() const {
+  const double total = demand_sojourns_.sum() + prefetch_sojourns_.sum();
+  return safe_div(total, static_cast<double>(requests_), 0.0);
+}
+
+double SimMetrics::retrievals_per_request() const {
+  const double total = static_cast<double>(demand_sojourns_.count() +
+                                           prefetch_sojourns_.count());
+  return safe_div(total, static_cast<double>(requests_), 0.0);
+}
+
+void SimMetrics::reset() {
+  access_times_.reset();
+  demand_sojourns_.reset();
+  prefetch_sojourns_.reset();
+  inflight_waits_.reset();
+  requests_ = 0;
+  hits_ = 0;
+  wasted_prefetches_ = 0;
+}
+
+}  // namespace specpf

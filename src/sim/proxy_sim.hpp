@@ -1,0 +1,85 @@
+// Full-stack multi-user proxy simulation: the downstream system a user of
+// this library would actually deploy the threshold rule in.
+//
+// N clients issue session-structured (Markov graph) requests. Each client
+// owns a TaggedCache. Misses and prefetches contend on one shared
+// processor-sharing server (the paper's network model). A Predictor learns
+// the access process online and a PrefetchPolicy decides, per request, what
+// to prefetch. System parameters for the policy (λ̂, ĥ', …) are estimated
+// online: ĥ' comes from the §4 tagged-entry protocol, λ̂ from the observed
+// request count.
+//
+// Unlike the abstract validation simulator, nothing here is wired to the
+// closed forms — hit ratios emerge from real cache contents, eviction
+// victims are chosen by the configured replacement policy, and prediction
+// errors propagate. This is the testbed for the policy-shootout experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "policy/policy.hpp"
+#include "sim/metrics.hpp"
+#include "workload/session_graph.hpp"
+
+namespace specpf {
+
+struct ProxySimConfig {
+  std::size_t num_users = 8;
+  double bandwidth = 50.0;
+
+  SessionGraphConfig graph;
+  double session_rate_per_user = 1.0;  ///< session starts per second
+  double think_time_mean = 0.5;        ///< gap between in-session requests
+  double item_size = 1.0;              ///< size of every page (units)
+
+  std::size_t cache_capacity = 64;
+  enum class CacheKind { kLru, kLfu, kFifo, kClock, kRandom } cache_kind =
+      CacheKind::kLru;
+
+  enum class PredictorKind {
+    kMarkov,
+    kPpm,
+    kDependencyGraph,
+    kFrequency,
+    kOracle,
+  } predictor_kind = PredictorKind::kOracle;
+
+  /// Which interaction model the online ĥ' estimate assumes.
+  core::InteractionModel estimator_model = core::InteractionModel::kModelA;
+
+  std::size_t max_prefetch_per_request = 8;
+
+  double duration = 2000.0;
+  double warmup = 200.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct ProxySimResult {
+  std::string policy;
+  double mean_access_time = 0.0;
+  double access_time_std_error = 0.0;
+  double hit_ratio = 0.0;
+  double server_utilization = 0.0;
+  double retrieval_time_per_request = 0.0;
+  double retrievals_per_request = 0.0;
+  double hprime_estimate = 0.0;        ///< final online ĥ' (per model)
+  double prefetch_useful_fraction = 0.0;  ///< prefetches touched before evict
+  std::uint64_t requests = 0;
+  std::uint64_t demand_jobs = 0;
+  std::uint64_t prefetch_jobs = 0;
+  std::uint64_t wasted_prefetch_evictions = 0;
+  std::uint64_t inflight_hits = 0;    ///< hits that waited on a live prefetch
+  double mean_inflight_wait = 0.0;
+  double mean_demand_sojourn = 0.0;
+};
+
+/// Runs one replication with the given policy (policy state persists across
+/// the run; pass a fresh instance per run).
+ProxySimResult run_proxy_sim(const ProxySimConfig& config,
+                             PrefetchPolicy& policy);
+
+}  // namespace specpf

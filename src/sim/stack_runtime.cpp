@@ -1,0 +1,224 @@
+#include "sim/stack_runtime.hpp"
+
+#include <algorithm>
+
+#include "cache/clock_cache.hpp"
+#include "cache/fifo.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/random_cache.hpp"
+#include "sim/proxy_sim.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+
+namespace {
+std::unique_ptr<Cache> make_cache(int kind, std::size_t capacity,
+                                  std::uint64_t seed) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<LruCache>(capacity);
+    case 1:
+      return std::make_unique<LfuCache>(capacity);
+    case 2:
+      return std::make_unique<FifoCache>(capacity);
+    case 3:
+      return std::make_unique<ClockCache>(capacity);
+    case 4:
+      return std::make_unique<RandomCache>(capacity, seed);
+    default:
+      SPECPF_ASSERT(false && "unknown cache kind");
+      return nullptr;
+  }
+}
+}  // namespace
+
+StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
+                           PrefetchPolicy& policy,
+                           const StackRuntimeConfig& config)
+    : sim_(sim),
+      predictor_(predictor),
+      policy_(policy),
+      config_(config),
+      server_(sim, config.bandwidth),
+      demand_inflight_(config.num_users, 0),
+      pending_prefetches_(config.num_users),
+      measuring_(false) {
+  SPECPF_EXPECTS(config.num_users >= 1);
+  SPECPF_EXPECTS(config.item_size > 0.0);
+  SPECPF_EXPECTS(config.cache_capacity >= 1);
+  Rng root(config.seed);
+  caches_.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    auto inner = make_cache(config.cache_kind, config.cache_capacity,
+                            root.substream(100 + u).next_u64());
+    inner->set_eviction_hook([this](ItemId, EntryTag tag) {
+      if (tag == EntryTag::kUntagged) {
+        ++wasted_evictions_;
+        if (measuring_) metrics_.record_wasted_prefetch();
+      }
+    });
+    caches_.push_back(std::make_unique<TaggedCache>(std::move(inner)));
+  }
+}
+
+void StackRuntime::begin_measurement() {
+  measuring_ = true;
+  metrics_.reset();
+  server_.reset_stats();
+}
+
+PolicyContext StackRuntime::current_context() const {
+  PolicyContext ctx;
+  ctx.params.bandwidth = config_.bandwidth;
+  ctx.params.mean_item_size = config_.item_size;
+  ctx.params.cache_items = static_cast<double>(config_.cache_capacity);
+  ctx.params.request_rate =
+      (total_requests_ >= 100 && sim_.now() > 1.0)
+          ? static_cast<double>(total_requests_) / sim_.now()
+          : config_.lambda_prior;
+  double h_sum = 0.0;
+  for (const auto& cache : caches_) {
+    h_sum += config_.estimator_model == core::InteractionModel::kModelA
+                 ? cache->estimate_model_a()
+                 : cache->estimate_model_b();
+  }
+  ctx.params.hit_ratio = std::clamp(
+      h_sum / static_cast<double>(config_.num_users), 0.0, 0.999);
+  return ctx;
+}
+
+void StackRuntime::flush_pending_prefetches(UserId user) {
+  std::vector<ItemId> batch = std::move(pending_prefetches_[user]);
+  pending_prefetches_[user].clear();
+  for (ItemId item : batch) {
+    if (caches_[user]->inner().contains(item)) continue;
+    if (inflight_.count({user, item})) continue;
+    submit_retrieval(user, item, /*is_prefetch=*/true);
+  }
+}
+
+void StackRuntime::submit_retrieval(UserId user, ItemId item,
+                                    bool is_prefetch) {
+  inflight_[{user, item}].is_prefetch = is_prefetch;
+  if (!is_prefetch) ++demand_inflight_[user];
+  const bool count = measuring_;
+  server_.submit(config_.item_size, [this, user, item, is_prefetch,
+                                     count](const TransferResult& r) {
+    if (count) {
+      if (is_prefetch) {
+        metrics_.record_prefetch_retrieval(r.sojourn());
+      } else {
+        metrics_.record_demand_retrieval(r.sojourn());
+      }
+    }
+    auto node = inflight_.extract({user, item});
+    SPECPF_ASSERT(!node.empty());
+    const Inflight& info = node.mapped();
+    TaggedCache& cache = *caches_[user];
+    if (is_prefetch) {
+      if (info.waiter_times.empty()) {
+        cache.admit_prefetch(item);
+      } else {
+        cache.admit_prefetch_accessed(item);
+      }
+    } else {
+      cache.admit_demand(item);
+    }
+    if (measuring_) {
+      for (double t0 : info.waiter_times) {
+        if (is_prefetch) {
+          metrics_.record_inflight_hit(sim_.now() - t0);
+        } else {
+          metrics_.record_miss(sim_.now() - t0);
+        }
+      }
+    }
+    if (!is_prefetch && --demand_inflight_[user] == 0) {
+      flush_pending_prefetches(user);
+    }
+  });
+}
+
+void StackRuntime::handle_request(UserId user, ItemId item) {
+  SPECPF_EXPECTS(user < caches_.size());
+  ++total_requests_;
+  TaggedCache& cache = *caches_[user];
+  switch (cache.access(item)) {
+    case AccessOutcome::kHitTagged:
+    case AccessOutcome::kHitUntagged:
+      if (measuring_) metrics_.record_hit();
+      break;
+    case AccessOutcome::kMiss: {
+      auto it = inflight_.find({user, item});
+      if (it != inflight_.end()) {
+        if (measuring_) it->second.waiter_times.push_back(sim_.now());
+      } else {
+        submit_retrieval(user, item, /*is_prefetch=*/false);
+        if (measuring_) {
+          inflight_[{user, item}].waiter_times.push_back(sim_.now());
+        }
+      }
+      break;
+    }
+  }
+
+  predictor_.observe(user, item);
+  const auto predictions =
+      predictor_.predict(user, config_.max_prefetch_per_request);
+  if (predictions.empty()) return;
+  std::vector<core::Candidate> viable;
+  viable.reserve(predictions.size());
+  for (const auto& c : predictions) {
+    if (c.item == item) continue;
+    if (cache.inner().contains(c.item)) continue;
+    if (inflight_.count({user, c.item})) continue;
+    viable.push_back(c);
+  }
+  if (viable.empty()) return;
+  const auto selected = policy_.select(viable, current_context());
+  for (const auto& c : selected) {
+    if (demand_inflight_[user] > 0) {
+      pending_prefetches_[user].push_back(c.item);
+    } else {
+      submit_retrieval(user, c.item, /*is_prefetch=*/true);
+    }
+  }
+}
+
+ProxySimResult StackRuntime::finalize(const ServerStats& horizon_stats,
+                                      std::string policy_name) const {
+  ProxySimResult out;
+  out.policy = std::move(policy_name);
+  out.mean_access_time = metrics_.mean_access_time();
+  out.access_time_std_error = metrics_.access_time_stats().std_error();
+  out.hit_ratio = metrics_.hit_ratio();
+  out.server_utilization = horizon_stats.utilization;
+  out.retrieval_time_per_request = metrics_.retrieval_time_per_request();
+  out.retrievals_per_request = metrics_.retrievals_per_request();
+  out.requests = metrics_.requests();
+  out.demand_jobs = metrics_.demand_retrievals();
+  out.prefetch_jobs = metrics_.prefetch_retrievals();
+  out.wasted_prefetch_evictions = wasted_evictions_;
+  out.inflight_hits = metrics_.inflight_hits();
+  out.mean_inflight_wait = metrics_.mean_inflight_wait();
+  out.mean_demand_sojourn = metrics_.mean_demand_sojourn();
+
+  double h_sum = 0.0;
+  std::uint64_t inserts = 0, first_uses = 0;
+  for (const auto& cache : caches_) {
+    h_sum += config_.estimator_model == core::InteractionModel::kModelA
+                 ? cache->estimate_model_a()
+                 : cache->estimate_model_b();
+    inserts += cache->prefetch_inserts();
+    first_uses += cache->prefetch_first_uses();
+  }
+  out.hprime_estimate = h_sum / static_cast<double>(caches_.size());
+  out.prefetch_useful_fraction =
+      inserts ? static_cast<double>(first_uses) / static_cast<double>(inserts)
+              : 0.0;
+  return out;
+}
+
+}  // namespace specpf

@@ -1,0 +1,93 @@
+// StackRuntime — the shared machinery of the full-stack simulators: per-user
+// tagged caches, the shared PS server, in-flight transfer bookkeeping,
+// prefetch deferral ("prefetch when the connection is idle", paper §1),
+// online parameter estimation for the policy, and metrics.
+//
+// Frontends drive it with handle_request(user, item) per arrival:
+//   * sim/proxy_sim   — generative session workload
+//   * sim/trace_replay — recorded traces
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/tagged_cache.hpp"
+#include "des/simulator.hpp"
+#include "net/ps_server.hpp"
+#include "policy/policy.hpp"
+#include "predict/predictor.hpp"
+#include "sim/metrics.hpp"
+
+namespace specpf {
+
+struct ProxySimResult;  // defined in sim/proxy_sim.hpp
+
+struct StackRuntimeConfig {
+  double bandwidth = 50.0;
+  double item_size = 1.0;
+  std::size_t num_users = 1;
+  std::size_t cache_capacity = 64;
+  /// 0=LRU 1=LFU 2=FIFO 3=CLOCK 4=random (matches ProxySimConfig::CacheKind).
+  int cache_kind = 0;
+  core::InteractionModel estimator_model = core::InteractionModel::kModelA;
+  std::size_t max_prefetch_per_request = 8;
+  std::uint64_t seed = 1;
+  /// Request-rate estimate used until ≥100 requests are observed.
+  double lambda_prior = 1.0;
+};
+
+class StackRuntime {
+ public:
+  /// `predictor` and `policy` are borrowed; they must outlive the runtime.
+  StackRuntime(Simulator& sim, Predictor& predictor, PrefetchPolicy& policy,
+               const StackRuntimeConfig& config);
+
+  /// Full per-request pipeline: cache access, demand fetch on miss (or
+  /// attach to an in-flight transfer), predictor update, policy decision,
+  /// prefetch dispatch/deferral.
+  void handle_request(UserId user, ItemId item);
+
+  /// Ends the warmup: clears metrics and server statistics.
+  void begin_measurement();
+
+  /// Snapshot server stats (call at the measurement horizon, before
+  /// draining in-flight transfers).
+  ServerStats snapshot_server() const { return server_.stats(); }
+
+  /// Assembles the result after the simulator has drained.
+  ProxySimResult finalize(const ServerStats& horizon_stats,
+                          std::string policy_name) const;
+
+  PsServer& server() { return server_; }
+  const SimMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Inflight {
+    bool is_prefetch = false;
+    std::vector<double> waiter_times;
+  };
+
+  PolicyContext current_context() const;
+  void submit_retrieval(UserId user, ItemId item, bool is_prefetch);
+  void flush_pending_prefetches(UserId user);
+
+  Simulator& sim_;
+  Predictor& predictor_;
+  PrefetchPolicy& policy_;
+  StackRuntimeConfig config_;
+
+  PsServer server_;
+  SimMetrics metrics_;
+  std::vector<std::unique_ptr<TaggedCache>> caches_;
+  std::map<std::pair<UserId, ItemId>, Inflight> inflight_;
+  std::vector<int> demand_inflight_;
+  std::vector<std::vector<ItemId>> pending_prefetches_;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t wasted_evictions_ = 0;
+  bool measuring_ = true;
+};
+
+}  // namespace specpf

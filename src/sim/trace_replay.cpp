@@ -1,0 +1,98 @@
+#include "sim/trace_replay.hpp"
+
+#include <map>
+
+#include "des/simulator.hpp"
+#include "predict/dependency_graph.hpp"
+#include "predict/frequency.hpp"
+#include "predict/markov.hpp"
+#include "predict/ppm.hpp"
+#include "sim/stack_runtime.hpp"
+#include "util/contract.hpp"
+
+namespace specpf {
+
+void TraceReplayConfig::validate() const {
+  SPECPF_EXPECTS(bandwidth > 0.0);
+  SPECPF_EXPECTS(item_size > 0.0);
+  SPECPF_EXPECTS(cache_capacity >= 1);
+  SPECPF_EXPECTS(max_prefetch_per_request >= 1);
+  SPECPF_EXPECTS(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+}
+
+namespace {
+std::unique_ptr<Predictor> make_predictor(
+    TraceReplayConfig::PredictorKind kind) {
+  switch (kind) {
+    case TraceReplayConfig::PredictorKind::kMarkov:
+      return std::make_unique<MarkovPredictor>();
+    case TraceReplayConfig::PredictorKind::kPpm:
+      return std::make_unique<PpmPredictor>(3);
+    case TraceReplayConfig::PredictorKind::kDependencyGraph:
+      return std::make_unique<DependencyGraphPredictor>(4);
+    case TraceReplayConfig::PredictorKind::kFrequency:
+      return std::make_unique<FrequencyPredictor>();
+  }
+  SPECPF_ASSERT(false && "unreachable");
+  return nullptr;
+}
+}  // namespace
+
+ProxySimResult run_trace_replay(const Trace& trace,
+                                const TraceReplayConfig& config,
+                                PrefetchPolicy& policy) {
+  config.validate();
+  SPECPF_EXPECTS(!trace.empty());
+  SPECPF_EXPECTS(trace.is_time_ordered());
+
+  // Densify user ids: the runtime indexes users contiguously.
+  std::map<std::uint32_t, UserId> user_index;
+  for (const auto& r : trace.records()) {
+    user_index.emplace(r.user, static_cast<UserId>(user_index.size()));
+  }
+
+  auto predictor = make_predictor(config.predictor_kind);
+
+  StackRuntimeConfig runtime_config;
+  runtime_config.bandwidth = config.bandwidth;
+  runtime_config.item_size = config.item_size;
+  runtime_config.num_users = user_index.size();
+  runtime_config.cache_capacity = config.cache_capacity;
+  runtime_config.cache_kind = static_cast<int>(config.cache_kind);
+  runtime_config.estimator_model = config.estimator_model;
+  runtime_config.max_prefetch_per_request = config.max_prefetch_per_request;
+  runtime_config.seed = config.seed;
+  runtime_config.lambda_prior = std::max(1e-9, trace.mean_request_rate());
+
+  Simulator sim;
+  StackRuntime runtime(sim, *predictor, policy, runtime_config);
+
+  // Shift the trace so the first request fires at t = 0.
+  const double t0 = trace.records().front().time;
+  const std::size_t warmup_records = static_cast<std::size_t>(
+      config.warmup_fraction * static_cast<double>(trace.size()));
+
+  std::size_t index = 0;
+  for (const auto& r : trace.records()) {
+    const UserId user = user_index.at(r.user);
+    const double when = r.time - t0;
+    SPECPF_EXPECTS(when >= 0.0);
+    if (warmup_records > 0 && index == warmup_records) {
+      sim.schedule_at(when, [&runtime] { runtime.begin_measurement(); });
+    }
+    sim.schedule_at(when, [&runtime, user, item = r.item] {
+      runtime.handle_request(user, item);
+    });
+    ++index;
+  }
+  if (warmup_records == 0) runtime.begin_measurement();
+
+  const double end_time = trace.records().back().time - t0;
+  ServerStats horizon_stats;
+  sim.schedule_at(end_time, [&] { horizon_stats = runtime.snapshot_server(); });
+
+  sim.run();  // replay everything and drain
+  return runtime.finalize(horizon_stats, policy.name());
+}
+
+}  // namespace specpf

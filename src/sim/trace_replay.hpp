@@ -1,0 +1,50 @@
+// Trace-driven replay: runs the full prefetching stack (per-user tagged
+// caches, predictor, policy, shared PS server) against a *recorded* request
+// trace instead of a generative workload.
+//
+// Replay gives paired comparisons — every policy sees byte-identical
+// request sequences — and lets users evaluate the threshold rule on their
+// own logs (Trace::load_csv_file). Timing semantics are open-loop: requests
+// fire at their recorded instants regardless of fetch completions, matching
+// the paper's fixed-λ assumption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "policy/policy.hpp"
+#include "sim/proxy_sim.hpp"
+#include "workload/trace.hpp"
+
+namespace specpf {
+
+struct TraceReplayConfig {
+  double bandwidth = 50.0;
+  double item_size = 1.0;
+  std::size_t cache_capacity = 64;
+  ProxySimConfig::CacheKind cache_kind = ProxySimConfig::CacheKind::kLru;
+
+  /// Predictors that need no generator: markov / ppm / depgraph / frequency.
+  enum class PredictorKind {
+    kMarkov,
+    kPpm,
+    kDependencyGraph,
+    kFrequency,
+  } predictor_kind = PredictorKind::kMarkov;
+
+  core::InteractionModel estimator_model = core::InteractionModel::kModelA;
+  std::size_t max_prefetch_per_request = 8;
+
+  /// Fraction of the trace treated as warmup (metrics reset after it).
+  double warmup_fraction = 0.1;
+  std::uint64_t seed = 1;  ///< only used by the random cache kind
+
+  void validate() const;
+};
+
+/// Replays `trace` (must be time-ordered) under `policy`.
+ProxySimResult run_trace_replay(const Trace& trace,
+                                const TraceReplayConfig& config,
+                                PrefetchPolicy& policy);
+
+}  // namespace specpf

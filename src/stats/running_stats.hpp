@@ -1,0 +1,41 @@
+// Streaming moment accumulation (Welford) — numerically stable mean and
+// variance without storing samples; merge() supports parallel reduction of
+// per-replication accumulators.
+#pragma once
+
+#include <cstdint>
+
+namespace specpf {
+
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Combines two accumulators (Chan et al. parallel update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 while n < 2).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Standard error of the mean (0 while n < 2).
+  double std_error() const noexcept;
+
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,51 @@
+// Time-weighted averaging of piecewise-constant signals (queue length,
+// instantaneous utilisation, cache occupancy). The standard DES estimator
+// for E[X(t)] over an observation window.
+#pragma once
+
+#include "util/math.hpp"
+
+namespace specpf {
+
+class TimeWeighted {
+ public:
+  /// Starts observation at `time` with initial signal `value`.
+  void start(double time, double value) noexcept {
+    last_time_ = time;
+    value_ = value;
+    started_ = true;
+    integral_.reset();
+    origin_ = time;
+  }
+
+  /// Records that the signal changed to `value` at `time` (>= last update).
+  void update(double time, double value) noexcept {
+    if (!started_) {
+      start(time, value);
+      return;
+    }
+    integral_.add(value_ * (time - last_time_));
+    last_time_ = time;
+    value_ = value;
+  }
+
+  /// Closes the window at `time` and returns the time-averaged value.
+  double average_until(double time) const noexcept {
+    if (!started_ || time <= origin_) return 0.0;
+    KahanSum total = integral_;
+    total.add(value_ * (time - last_time_));
+    return total.value() / (time - origin_);
+  }
+
+  double current() const noexcept { return value_; }
+  bool started() const noexcept { return started_; }
+
+ private:
+  KahanSum integral_;
+  double origin_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace specpf

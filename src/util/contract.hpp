@@ -1,0 +1,46 @@
+// Contract checking in the spirit of the C++ Core Guidelines GSL
+// (Expects/Ensures). Violations throw rather than abort so that tests can
+// assert on misuse and long-running sweeps fail loudly but catchably.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace specpf {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace specpf
+
+#define SPECPF_EXPECTS(cond)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specpf::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                      __LINE__);                            \
+  } while (false)
+
+#define SPECPF_ENSURES(cond)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specpf::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                      __LINE__);                            \
+  } while (false)
+
+#define SPECPF_ASSERT(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specpf::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                      __LINE__);                            \
+  } while (false)

@@ -1,0 +1,61 @@
+// Small numeric helpers shared across modules: compensated summation,
+// approximate comparison, generalized harmonic numbers (Zipf normalisation).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace specpf {
+
+/// Kahan–Babuška compensated accumulator. Used wherever long simulations sum
+/// millions of small terms (time-weighted integrals, mean access times).
+class KahanSum {
+ public:
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  KahanSum& operator+=(double x) noexcept {
+    add(x);
+    return *this;
+  }
+
+  double value() const noexcept { return sum_ + comp_; }
+  void reset() noexcept { sum_ = comp_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// True when |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+inline bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) noexcept {
+  const double diff = std::abs(a - b);
+  const double scale = std::fmax(std::abs(a), std::abs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+/// x/y, or `fallback` when y == 0. Avoids NaN propagation in metric ratios
+/// over empty measurement windows.
+inline double safe_div(double x, double y, double fallback = 0.0) noexcept {
+  return y == 0.0 ? fallback : x / y;
+}
+
+/// Generalized harmonic number H_{n,s} = sum_{k=1..n} k^{-s}.
+/// O(n); intended for Zipf normalisation at catalog-construction time.
+double generalized_harmonic(std::size_t n, double s) noexcept;
+
+/// Relative error |measured-expected| / max(|expected|, floor).
+inline double relative_error(double measured, double expected,
+                             double floor = 1e-12) noexcept {
+  return std::abs(measured - expected) / std::fmax(std::abs(expected), floor);
+}
+
+}  // namespace specpf

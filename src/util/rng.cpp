@@ -1,0 +1,63 @@
+#include "util/rng.hpp"
+
+namespace specpf {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // An all-zero state is a fixed point of xoshiro; SplitMix64 cannot emit
+  // four consecutive zeros, but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
+  // Lemire (2019): unbiased bounded integers without division in the common
+  // case. n == 0 would be a caller bug; return 0 rather than UB.
+  if (n == 0) return 0;
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::substream(std::uint64_t stream_index) const noexcept {
+  // Mix (seed, stream) through SplitMix64 twice to decorrelate adjacent
+  // streams; golden-ratio offset separates stream space from seed space.
+  SplitMix64 sm(seed_ ^ (0xA3EC4E9F0D1B2C55ULL + stream_index));
+  std::uint64_t derived = sm.next();
+  derived ^= SplitMix64(stream_index * 0x9E3779B97F4A7C15ULL + 1).next();
+  return Rng(derived);
+}
+
+}  // namespace specpf

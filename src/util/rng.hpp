@@ -1,0 +1,77 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in specpf takes an explicit 64-bit seed and owns
+// its own generator; there is no global RNG state. Substreams for parallel
+// replications are derived with SplitMix64 so that replication k of a sweep
+// is reproducible regardless of scheduling order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace specpf {
+
+/// SplitMix64: tiny, fast 64-bit generator. Used both directly and to seed
+/// Xoshiro256** state (as recommended by Blackman & Vigna).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the project-wide workhorse generator. Passes BigCrush, has
+/// 2^256-1 period, and is trivially copyable so simulation state can be
+/// snapshotted.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  std::uint64_t operator()() noexcept { return next_u64(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo < hi (unchecked, hot path).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection to
+  /// avoid modulo bias. Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Derives an independent substream generator. Stream i of a given parent
+  /// seed is stable across runs and platforms.
+  Rng substream(std::uint64_t stream_index) const noexcept;
+
+  /// The seed this generator was constructed from (for provenance logging).
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,53 @@
+// Formatted table output for benchmark harnesses: the same Table renders as
+// GitHub-flavoured markdown (for terminal reading / EXPERIMENTS.md) or CSV
+// (for downstream plotting).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace specpf {
+
+/// A table cell: text, integer, or floating point (rendered with the
+/// column's precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Fixed decimal digits used for double cells (default 4).
+  Table& set_precision(int digits);
+
+  /// Optional caption printed above the table.
+  Table& set_title(std::string title);
+
+  /// Appends a row; must match the header arity.
+  Table& add_row(std::vector<Cell> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+  const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Renders GitHub-flavoured markdown with aligned columns.
+  std::string to_markdown() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing separators).
+  std::string to_csv() const;
+
+  /// Convenience: prints markdown (plus title) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace specpf

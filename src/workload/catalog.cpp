@@ -1,0 +1,81 @@
+#include "workload/catalog.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+#include "util/math.hpp"
+
+namespace specpf {
+
+namespace {
+std::vector<double> make_sizes(const CatalogConfig& config,
+                               std::uint64_t seed) {
+  SPECPF_EXPECTS(config.num_items >= 1);
+  SPECPF_EXPECTS(config.mean_size > 0.0);
+  std::vector<double> sizes(config.num_items, config.mean_size);
+  Rng rng(seed);
+  switch (config.size_model) {
+    case CatalogConfig::SizeModel::kFixed:
+      break;
+    case CatalogConfig::SizeModel::kExponential: {
+      ExponentialDist dist(config.mean_size);
+      for (auto& s : sizes) s = dist.sample(rng);
+      break;
+    }
+    case CatalogConfig::SizeModel::kBoundedPareto: {
+      // Choose lo so that the bounded-Pareto mean equals mean_size: solve by
+      // scaling (mean scales linearly with lo for fixed hi/lo ratio).
+      BoundedParetoDist probe(config.pareto_shape, 1.0,
+                              config.pareto_max_ratio);
+      const double scale = config.mean_size / probe.mean();
+      BoundedParetoDist dist(config.pareto_shape, scale,
+                             scale * config.pareto_max_ratio);
+      for (auto& s : sizes) s = dist.sample(rng);
+      break;
+    }
+  }
+  return sizes;
+}
+}  // namespace
+
+Catalog::Catalog(const CatalogConfig& config, std::uint64_t seed)
+    : sizes_(make_sizes(config, seed)),
+      popularity_(config.num_items, config.zipf_alpha) {}
+
+double Catalog::item_size(std::uint64_t item) const {
+  SPECPF_EXPECTS(item < sizes_.size());
+  return sizes_[item];
+}
+
+double Catalog::popularity(std::uint64_t item) const {
+  SPECPF_EXPECTS(item < sizes_.size());
+  return popularity_.pmf(item);
+}
+
+std::uint64_t Catalog::sample(Rng& rng) const { return popularity_.sample(rng); }
+
+double Catalog::popularity_weighted_mean_size() const {
+  KahanSum sum;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    sum.add(popularity_.pmf(i) * sizes_[i]);
+  }
+  return sum.value();
+}
+
+double Catalog::mean_size() const {
+  KahanSum sum;
+  for (double s : sizes_) sum.add(s);
+  return sum.value() / static_cast<double>(sizes_.size());
+}
+
+std::size_t Catalog::items_covering(double mass) const {
+  SPECPF_EXPECTS(mass >= 0.0 && mass <= 1.0);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    cum += popularity_.pmf(i);
+    if (cum >= mass) return i + 1;
+  }
+  return sizes_.size();
+}
+
+}  // namespace specpf

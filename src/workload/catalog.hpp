@@ -1,0 +1,57 @@
+// Item catalog: the universe of remotely stored items with sizes and a
+// popularity law. Models the 2001-era web/file-server populations the paper
+// targets (Zipf popularity, optionally heavy-tailed sizes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+
+struct CatalogConfig {
+  std::size_t num_items = 1000;
+  double zipf_alpha = 0.8;  ///< popularity skew; 0.6–0.9 typical for web
+
+  /// Item size model. kFixed matches the paper's single s̄; the others model
+  /// realistic web object sizes for the full-stack experiments.
+  enum class SizeModel { kFixed, kExponential, kBoundedPareto } size_model =
+      SizeModel::kFixed;
+  double mean_size = 1.0;
+  double pareto_shape = 1.2;   ///< used by kBoundedPareto
+  double pareto_max_ratio = 1000.0;  ///< hi/lo for bounded Pareto
+};
+
+class Catalog {
+ public:
+  /// Materialises per-item sizes (seeded) and the popularity sampler.
+  Catalog(const CatalogConfig& config, std::uint64_t seed);
+
+  std::size_t size() const { return sizes_.size(); }
+  double item_size(std::uint64_t item) const;
+
+  /// Stationary access probability of `item` under the IRM.
+  double popularity(std::uint64_t item) const;
+
+  /// Samples one item according to popularity.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Mean item size weighted by popularity — the s̄ the closed forms see
+  /// when requests follow the IRM.
+  double popularity_weighted_mean_size() const;
+
+  /// Unweighted mean size.
+  double mean_size() const;
+
+  /// Number of most-popular items whose popularity sums to >= mass.
+  std::size_t items_covering(double mass) const;
+
+ private:
+  std::vector<double> sizes_;
+  ZipfDist popularity_;
+};
+
+}  // namespace specpf

@@ -1,0 +1,45 @@
+#include "workload/request_stream.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+IrmStream::IrmStream(const Catalog& catalog, double rate, Rng rng)
+    : catalog_(catalog), interarrival_(1.0 / rate), rng_(rng) {
+  SPECPF_EXPECTS(rate > 0.0);
+}
+
+Request IrmStream::next() {
+  now_ += interarrival_.sample(rng_);
+  return Request{now_, catalog_.sample(rng_)};
+}
+
+SessionStream::SessionStream(const SessionGraph& graph, double session_rate,
+                             double think_time_mean, Rng rng)
+    : graph_(graph),
+      session_gap_(1.0 / session_rate),
+      think_(think_time_mean),
+      rng_(rng) {
+  SPECPF_EXPECTS(session_rate > 0.0);
+  SPECPF_EXPECTS(think_time_mean > 0.0);
+}
+
+Request SessionStream::next() {
+  if (!in_session_) {
+    now_ += session_gap_.sample(rng_);
+    page_ = graph_.sample_entry(rng_);
+    in_session_ = true;
+    return Request{now_, page_};
+  }
+  now_ += think_.sample(rng_);
+  std::uint64_t next_page = 0;
+  if (graph_.sample_next(page_, rng_, &next_page)) {
+    page_ = next_page;
+    return Request{now_, page_};
+  }
+  // Session over; emit the first page of the next session after a gap.
+  in_session_ = false;
+  return next();
+}
+
+}  // namespace specpf

@@ -1,0 +1,62 @@
+// Request arrival processes. A RequestStream produces the next (time, item)
+// pair for one client; the integrated simulator merges streams from multiple
+// clients onto the shared server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/catalog.hpp"
+#include "workload/session_graph.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+
+struct Request {
+  double time = 0.0;
+  std::uint64_t item = 0;
+};
+
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  /// Produces the next request; times are strictly non-decreasing.
+  virtual Request next() = 0;
+};
+
+/// Independent reference model: Poisson arrivals at `rate`, item drawn iid
+/// from the catalog popularity on every request. Matches the paper's
+/// memoryless multi-user aggregate.
+class IrmStream final : public RequestStream {
+ public:
+  IrmStream(const Catalog& catalog, double rate, Rng rng);
+  Request next() override;
+
+ private:
+  const Catalog& catalog_;
+  ExponentialDist interarrival_;
+  Rng rng_;
+  double now_ = 0.0;
+};
+
+/// Session stream: Poisson *session* arrivals; within a session, pages follow
+/// the SessionGraph with a fixed per-page think time. Produces correlated,
+/// predictable request sequences (what prefetch predictors exploit).
+class SessionStream final : public RequestStream {
+ public:
+  SessionStream(const SessionGraph& graph, double session_rate,
+                double think_time_mean, Rng rng);
+  Request next() override;
+
+ private:
+  const SessionGraph& graph_;
+  ExponentialDist session_gap_;
+  ExponentialDist think_;
+  Rng rng_;
+  double now_ = 0.0;
+  bool in_session_ = false;
+  std::uint64_t page_ = 0;
+};
+
+}  // namespace specpf

@@ -1,0 +1,107 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+#include "util/math.hpp"
+
+namespace specpf {
+
+Trace::Trace(std::vector<TraceRecord> records) : records_(std::move(records)) {}
+
+void Trace::append(TraceRecord record) { records_.push_back(record); }
+
+bool Trace::is_time_ordered() const {
+  return std::is_sorted(records_.begin(), records_.end(),
+                        [](const TraceRecord& a, const TraceRecord& b) {
+                          return a.time < b.time;
+                        });
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.time < b.time;
+                   });
+}
+
+std::size_t Trace::unique_items() const {
+  std::set<std::uint64_t> items;
+  for (const auto& r : records_) items.insert(r.item);
+  return items.size();
+}
+
+std::size_t Trace::unique_users() const {
+  std::set<std::uint32_t> users;
+  for (const auto& r : records_) users.insert(r.user);
+  return users.size();
+}
+
+double Trace::duration() const {
+  if (records_.size() < 2) return 0.0;
+  auto [lo, hi] = std::minmax_element(
+      records_.begin(), records_.end(),
+      [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
+  return hi->time - lo->time;
+}
+
+double Trace::mean_request_rate() const {
+  return safe_div(static_cast<double>(records_.size()), duration(), 0.0);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::item_counts()
+    const {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& r : records_) ++counts[r.item];
+  return {counts.begin(), counts.end()};
+}
+
+void Trace::save_csv(std::ostream& os) const {
+  os << "time,user,item\n";
+  for (const auto& r : records_) {
+    os << r.time << ',' << r.user << ',' << r.item << '\n';
+  }
+}
+
+Trace Trace::load_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return Trace{};
+  if (line != "time,user,item") {
+    throw std::runtime_error("trace CSV: bad header: " + line);
+  }
+  std::vector<TraceRecord> records;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    char c1 = 0, c2 = 0;
+    if (!(ls >> r.time >> c1 >> r.user >> c2 >> r.item) || c1 != ',' ||
+        c2 != ',') {
+      throw std::runtime_error("trace CSV: bad record at line " +
+                               std::to_string(line_no));
+    }
+    records.push_back(r);
+  }
+  return Trace{std::move(records)};
+}
+
+void Trace::save_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_csv(os);
+}
+
+Trace Trace::load_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_csv(is);
+}
+
+}  // namespace specpf

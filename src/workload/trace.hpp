@@ -1,0 +1,55 @@
+// Access traces: recording, replay, CSV round-trip, and summary statistics.
+// Lets experiments be re-run on identical request sequences (paired
+// comparisons between policies) and lets users feed real traces in.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace specpf {
+
+struct TraceRecord {
+  double time = 0.0;        ///< request arrival time (s)
+  std::uint32_t user = 0;   ///< issuing client
+  std::uint64_t item = 0;   ///< requested item
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceRecord> records);
+
+  void append(TraceRecord record);
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// True when records are sorted by time (required for replay).
+  bool is_time_ordered() const;
+
+  /// Stable-sorts records by time.
+  void sort_by_time();
+
+  /// Summary statistics.
+  std::size_t unique_items() const;
+  std::size_t unique_users() const;
+  double duration() const;  ///< last time − first time (0 if < 2 records)
+  double mean_request_rate() const;  ///< size / duration
+
+  /// Per-item request counts, indexed sparsely.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> item_counts() const;
+
+  /// CSV with header "time,user,item".
+  void save_csv(std::ostream& os) const;
+  static Trace load_csv(std::istream& is);
+
+  void save_csv_file(const std::string& path) const;
+  static Trace load_csv_file(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace specpf

@@ -1,0 +1,246 @@
+// Cache substrate: generic interface properties parameterised over every
+// eviction policy, plus policy-specific behaviour.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/clock_cache.hpp"
+#include "cache/fifo.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/random_cache.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+namespace {
+
+using Factory = std::function<std::unique_ptr<Cache>(std::size_t)>;
+
+struct CacheCase {
+  std::string name;
+  Factory make;
+};
+
+void PrintTo(const CacheCase& c, std::ostream* os) { *os << c.name; }
+
+class AnyCacheTest : public ::testing::TestWithParam<CacheCase> {
+ protected:
+  std::unique_ptr<Cache> make(std::size_t cap) const {
+    return GetParam().make(cap);
+  }
+};
+
+TEST_P(AnyCacheTest, InsertThenLookupHits) {
+  auto cache = make(4);
+  cache->insert(1, EntryTag::kTagged);
+  const auto tag = cache->lookup(1);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_EQ(*tag, EntryTag::kTagged);
+}
+
+TEST_P(AnyCacheTest, MissingItemMisses) {
+  auto cache = make(4);
+  EXPECT_FALSE(cache->lookup(99).has_value());
+  EXPECT_FALSE(cache->contains(99));
+}
+
+TEST_P(AnyCacheTest, NeverExceedsCapacity) {
+  auto cache = make(8);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    cache->insert(rng.next_below(100), EntryTag::kTagged);
+    ASSERT_LE(cache->size(), 8u);
+  }
+  EXPECT_EQ(cache->size(), 8u);
+}
+
+TEST_P(AnyCacheTest, EvictionHookFiresOncePerEviction) {
+  auto cache = make(2);
+  int evictions = 0;
+  cache->set_eviction_hook([&](ItemId, EntryTag) { ++evictions; });
+  for (ItemId i = 0; i < 10; ++i) cache->insert(i, EntryTag::kTagged);
+  EXPECT_EQ(evictions, 8);
+  EXPECT_EQ(cache->stats().evictions, 8u);
+}
+
+TEST_P(AnyCacheTest, EraseRemovesWithoutEvictionCount) {
+  auto cache = make(4);
+  cache->insert(1, EntryTag::kTagged);
+  EXPECT_TRUE(cache->erase(1));
+  EXPECT_FALSE(cache->erase(1));
+  EXPECT_FALSE(cache->contains(1));
+  EXPECT_EQ(cache->stats().evictions, 0u);
+}
+
+TEST_P(AnyCacheTest, SetTagUpdatesResidentEntry) {
+  auto cache = make(4);
+  cache->insert(1, EntryTag::kUntagged);
+  EXPECT_TRUE(cache->set_tag(1, EntryTag::kTagged));
+  EXPECT_EQ(*cache->lookup(1), EntryTag::kTagged);
+  EXPECT_FALSE(cache->set_tag(42, EntryTag::kTagged));
+}
+
+TEST_P(AnyCacheTest, ReinsertUpdatesTagWithoutGrowth) {
+  auto cache = make(4);
+  cache->insert(1, EntryTag::kTagged);
+  cache->insert(1, EntryTag::kUntagged);
+  EXPECT_EQ(cache->size(), 1u);
+  EXPECT_EQ(*cache->lookup(1), EntryTag::kUntagged);
+}
+
+TEST_P(AnyCacheTest, StatsCountLookupsAndHits) {
+  auto cache = make(4);
+  cache->insert(1, EntryTag::kTagged);
+  cache->lookup(1);
+  cache->lookup(2);
+  EXPECT_EQ(cache->stats().lookups, 2u);
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache->stats().hit_ratio(), 0.5);
+  cache->reset_stats();
+  EXPECT_EQ(cache->stats().lookups, 0u);
+}
+
+TEST_P(AnyCacheTest, ContainsDoesNotPerturbStats) {
+  auto cache = make(4);
+  cache->insert(1, EntryTag::kTagged);
+  cache->contains(1);
+  cache->contains(2);
+  EXPECT_EQ(cache->stats().lookups, 0u);
+}
+
+TEST_P(AnyCacheTest, CapacityOneStillWorks) {
+  auto cache = make(1);
+  cache->insert(1, EntryTag::kTagged);
+  cache->insert(2, EntryTag::kTagged);
+  EXPECT_EQ(cache->size(), 1u);
+  EXPECT_TRUE(cache->contains(2));
+  EXPECT_FALSE(cache->contains(1));
+}
+
+TEST_P(AnyCacheTest, WorkloadConservation) {
+  // hits + misses == lookups under arbitrary traffic.
+  auto cache = make(16);
+  Rng rng(11);
+  std::uint64_t misses = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const ItemId item = rng.next_below(64);
+    if (!cache->lookup(item).has_value()) {
+      ++misses;
+      cache->insert(item, EntryTag::kTagged);
+    }
+  }
+  EXPECT_EQ(cache->stats().hits + misses, cache->stats().lookups);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AnyCacheTest,
+    ::testing::Values(
+        CacheCase{"lru",
+                  [](std::size_t c) { return std::make_unique<LruCache>(c); }},
+        CacheCase{"fifo",
+                  [](std::size_t c) { return std::make_unique<FifoCache>(c); }},
+        CacheCase{"lfu",
+                  [](std::size_t c) { return std::make_unique<LfuCache>(c); }},
+        CacheCase{"clock",
+                  [](std::size_t c) {
+                    return std::make_unique<ClockCache>(c);
+                  }},
+        CacheCase{"random",
+                  [](std::size_t c) {
+                    return std::make_unique<RandomCache>(c, 42);
+                  }}),
+    [](const ::testing::TestParamInfo<CacheCase>& info) {
+      return info.param.name;
+    });
+
+// --- Policy-specific behaviour ---
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(3);
+  cache.insert(1, EntryTag::kTagged);
+  cache.insert(2, EntryTag::kTagged);
+  cache.insert(3, EntryTag::kTagged);
+  cache.lookup(1);  // refresh 1; victim order now 2,3,1
+  cache.insert(4, EntryTag::kTagged);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(FifoCache, LookupDoesNotRefreshPosition) {
+  FifoCache cache(3);
+  cache.insert(1, EntryTag::kTagged);
+  cache.insert(2, EntryTag::kTagged);
+  cache.insert(3, EntryTag::kTagged);
+  cache.lookup(1);  // irrelevant for FIFO
+  cache.insert(4, EntryTag::kTagged);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LfuCache, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(3);
+  cache.insert(1, EntryTag::kTagged);
+  cache.insert(2, EntryTag::kTagged);
+  cache.insert(3, EntryTag::kTagged);
+  cache.lookup(1);
+  cache.lookup(1);
+  cache.lookup(3);
+  cache.insert(4, EntryTag::kTagged);  // 2 has lowest frequency
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.frequency(1), 3u);  // insert + two lookups
+  EXPECT_EQ(cache.frequency(4), 1u);
+}
+
+TEST(LfuCache, TieBreaksLeastRecentWithinFrequency) {
+  LfuCache cache(2);
+  cache.insert(1, EntryTag::kTagged);
+  cache.insert(2, EntryTag::kTagged);
+  // Both at frequency 1; 1 is older within the bucket.
+  cache.insert(3, EntryTag::kTagged);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(ClockCache, SecondChanceSpairesReferencedFrames) {
+  ClockCache cache(3);
+  cache.insert(1, EntryTag::kTagged);
+  cache.insert(2, EntryTag::kTagged);
+  cache.insert(3, EntryTag::kTagged);
+  cache.lookup(1);  // sets reference bit again (insert set it too)
+  // All referenced: sweep clears all bits, evicts frame 0 on second pass …
+  cache.insert(4, EntryTag::kTagged);
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(RandomCache, EvictionVictimVaries) {
+  // Over many trials, the victim should not always be the same item.
+  int first_evicted = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomCache cache(3, seed);
+    cache.insert(1, EntryTag::kTagged);
+    cache.insert(2, EntryTag::kTagged);
+    cache.insert(3, EntryTag::kTagged);
+    ItemId victim = 0;
+    cache.set_eviction_hook([&](ItemId item, EntryTag) { victim = item; });
+    cache.insert(4, EntryTag::kTagged);
+    if (victim == 1) ++first_evicted;
+  }
+  EXPECT_GT(first_evicted, 0);
+  EXPECT_LT(first_evicted, 20);
+}
+
+TEST(CacheConstruction, RejectsZeroCapacity) {
+  EXPECT_THROW(LruCache(0), ContractViolation);
+  EXPECT_THROW(FifoCache(0), ContractViolation);
+  EXPECT_THROW(LfuCache(0), ContractViolation);
+  EXPECT_THROW(ClockCache(0), ContractViolation);
+  EXPECT_THROW(RandomCache(0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,113 @@
+// ValueCache: the min-value-eviction policy that realises Model A's
+// "evict zero-value items" assumption.
+#include <gtest/gtest.h>
+
+#include "cache/value_cache.hpp"
+#include "util/contract.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(ValueCache, EvictsLowestValue) {
+  ValueCache cache(3);
+  cache.insert_valued(1, EntryTag::kTagged, 0.9);
+  cache.insert_valued(2, EntryTag::kTagged, 0.1);
+  cache.insert_valued(3, EntryTag::kTagged, 0.5);
+  ItemId victim = 0;
+  cache.set_eviction_hook([&](ItemId item, EntryTag) { victim = item; });
+  cache.insert_valued(4, EntryTag::kTagged, 0.7);
+  EXPECT_EQ(victim, 2u);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(ValueCache, AdmissionControlRefusesWorthlessItems) {
+  ValueCache cache(2);
+  cache.insert_valued(1, EntryTag::kTagged, 0.8);
+  cache.insert_valued(2, EntryTag::kTagged, 0.6);
+  // New item worth less than the minimum resident: refused, no eviction.
+  EXPECT_FALSE(cache.insert_valued(3, EntryTag::kTagged, 0.1));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ValueCache, ZeroValueItemsAreAlwaysTheVictims) {
+  // The Model A scenario: as long as zero-value entries exist, prefetching
+  // valuable items evicts only those.
+  ValueCache cache(4);
+  cache.insert_valued(1, EntryTag::kTagged, 0.0);
+  cache.insert_valued(2, EntryTag::kTagged, 0.0);
+  cache.insert_valued(3, EntryTag::kTagged, 0.5);
+  cache.insert_valued(4, EntryTag::kTagged, 0.6);
+  std::vector<ItemId> victims;
+  cache.set_eviction_hook([&](ItemId item, EntryTag) {
+    victims.push_back(item);
+  });
+  cache.insert_valued(10, EntryTag::kUntagged, 0.3);
+  cache.insert_valued(11, EntryTag::kUntagged, 0.3);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_TRUE((victims[0] == 1 && victims[1] == 2) ||
+              (victims[0] == 2 && victims[1] == 1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(ValueCache, SetValueRebalancesVictimOrder) {
+  ValueCache cache(2);
+  cache.insert_valued(1, EntryTag::kTagged, 0.9);
+  cache.insert_valued(2, EntryTag::kTagged, 0.8);
+  EXPECT_TRUE(cache.set_value(1, 0.01));  // 1 becomes the victim
+  ItemId victim = 0;
+  cache.set_eviction_hook([&](ItemId item, EntryTag) { victim = item; });
+  cache.insert_valued(3, EntryTag::kTagged, 0.5);
+  EXPECT_EQ(victim, 1u);
+  EXPECT_FALSE(cache.set_value(42, 1.0));
+}
+
+TEST(ValueCache, ValueQueries) {
+  ValueCache cache(4);
+  cache.insert_valued(1, EntryTag::kTagged, 0.25);
+  cache.insert_valued(2, EntryTag::kTagged, 0.75);
+  EXPECT_DOUBLE_EQ(*cache.value_of(1), 0.25);
+  EXPECT_DOUBLE_EQ(*cache.min_value(), 0.25);
+  EXPECT_FALSE(cache.value_of(99).has_value());
+  ValueCache empty(2);
+  EXPECT_FALSE(empty.min_value().has_value());
+}
+
+TEST(ValueCache, ReinsertUpdatesValueAndTag) {
+  ValueCache cache(2);
+  cache.insert_valued(1, EntryTag::kUntagged, 0.2);
+  EXPECT_TRUE(cache.insert_valued(1, EntryTag::kTagged, 0.9));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(*cache.value_of(1), 0.9);
+  EXPECT_EQ(*cache.lookup(1), EntryTag::kTagged);
+}
+
+TEST(ValueCache, CacheInterfaceConformance) {
+  ValueCache cache(2);
+  cache.insert(5, EntryTag::kTagged);  // value defaults to 0
+  EXPECT_TRUE(cache.contains(5));
+  EXPECT_EQ(*cache.lookup(5), EntryTag::kTagged);
+  EXPECT_TRUE(cache.set_tag(5, EntryTag::kUntagged));
+  EXPECT_EQ(*cache.lookup(5), EntryTag::kUntagged);
+  EXPECT_TRUE(cache.erase(5));
+  EXPECT_FALSE(cache.erase(5));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_THROW(ValueCache(0), ContractViolation);
+}
+
+TEST(ValueCache, EqualValuesTieBreakDeterministically) {
+  ValueCache cache(2);
+  cache.insert_valued(7, EntryTag::kTagged, 0.5);
+  cache.insert_valued(3, EntryTag::kTagged, 0.5);
+  ItemId victim = 0;
+  cache.set_eviction_hook([&](ItemId item, EntryTag) { victim = item; });
+  cache.insert_valued(9, EntryTag::kTagged, 0.6);
+  EXPECT_EQ(victim, 3u);  // (0.5, 3) < (0.5, 7) in the value set
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,156 @@
+// §4 online h' estimation: protocol transitions and statistical accuracy on
+// synthetic access streams with known ground truth.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/lru.hpp"
+#include "cache/tagged_cache.hpp"
+#include "core/hit_ratio_estimator.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+namespace {
+
+using core::EntryTag;
+using core::HitRatioEstimator;
+
+TEST(HitRatioEstimator, TagConstants) {
+  EXPECT_EQ(HitRatioEstimator::prefetch_insert_tag(), EntryTag::kUntagged);
+  EXPECT_EQ(HitRatioEstimator::demand_insert_tag(), EntryTag::kTagged);
+}
+
+TEST(HitRatioEstimator, TaggedHitIncrementsBoth) {
+  HitRatioEstimator est;
+  est.on_cache_hit(EntryTag::kTagged);
+  EXPECT_EQ(est.accesses(), 1u);
+  EXPECT_EQ(est.tagged_hits(), 1u);
+}
+
+TEST(HitRatioEstimator, UntaggedHitCountsAccessOnlyAndPromotes) {
+  HitRatioEstimator est;
+  const EntryTag after = est.on_cache_hit(EntryTag::kUntagged);
+  EXPECT_EQ(after, EntryTag::kTagged);
+  EXPECT_EQ(est.accesses(), 1u);
+  EXPECT_EQ(est.tagged_hits(), 0u);
+}
+
+TEST(HitRatioEstimator, MissCountsAccessOnly) {
+  HitRatioEstimator est;
+  est.on_cache_miss();
+  EXPECT_EQ(est.accesses(), 1u);
+  EXPECT_EQ(est.tagged_hits(), 0u);
+}
+
+TEST(HitRatioEstimator, ModelAEstimateIsRatio) {
+  HitRatioEstimator est;
+  est.on_cache_hit(EntryTag::kTagged);
+  est.on_cache_hit(EntryTag::kTagged);
+  est.on_cache_miss();
+  est.on_cache_hit(EntryTag::kUntagged);
+  EXPECT_DOUBLE_EQ(est.estimate_model_a(), 0.5);
+}
+
+TEST(HitRatioEstimator, ModelBAppliesCorrectionFactor) {
+  HitRatioEstimator est;
+  est.on_cache_hit(EntryTag::kTagged);
+  est.on_cache_miss();
+  // ĥ'_B = 0.5 × n̄(C)/(n̄(C)−n̄(F)) = 0.5 × 100/80.
+  EXPECT_DOUBLE_EQ(est.estimate_model_b(100.0, 20.0), 0.625);
+}
+
+TEST(HitRatioEstimator, ModelBRejectsDegenerateCache) {
+  HitRatioEstimator est;
+  EXPECT_THROW(est.estimate_model_b(10.0, 10.0), ContractViolation);
+  EXPECT_THROW(est.estimate_model_b(5.0, -1.0), ContractViolation);
+}
+
+TEST(HitRatioEstimator, EmptyEstimateIsZero) {
+  HitRatioEstimator est;
+  EXPECT_DOUBLE_EQ(est.estimate_model_a(), 0.0);
+}
+
+TEST(HitRatioEstimator, ResetClearsCounters) {
+  HitRatioEstimator est;
+  est.on_cache_hit(EntryTag::kTagged);
+  est.reset();
+  EXPECT_EQ(est.accesses(), 0u);
+  EXPECT_DOUBLE_EQ(est.estimate_model_a(), 0.0);
+}
+
+// --- Protocol through TaggedCache ---
+
+TEST(TaggedCache, SecondTouchOfPrefetchedEntryCountsAsWouldHaveHit) {
+  TaggedCache cache(std::make_unique<LruCache>(10));
+  cache.admit_prefetch(7);
+  // First touch: untagged -> access counted, no nhit, becomes tagged.
+  EXPECT_EQ(cache.access(7), AccessOutcome::kHitUntagged);
+  // Second touch: tagged -> nhit.
+  EXPECT_EQ(cache.access(7), AccessOutcome::kHitTagged);
+  EXPECT_EQ(cache.estimator().accesses(), 2u);
+  EXPECT_EQ(cache.estimator().tagged_hits(), 1u);
+}
+
+TEST(TaggedCache, DemandAdmissionsAreTagged) {
+  TaggedCache cache(std::make_unique<LruCache>(10));
+  EXPECT_EQ(cache.access(3), AccessOutcome::kMiss);
+  cache.admit_demand(3);
+  EXPECT_EQ(cache.access(3), AccessOutcome::kHitTagged);
+}
+
+TEST(TaggedCache, PrefetchAccessedInFlightCountsAsUsed) {
+  TaggedCache cache(std::make_unique<LruCache>(10));
+  cache.admit_prefetch_accessed(5);
+  EXPECT_EQ(cache.prefetch_inserts(), 1u);
+  EXPECT_EQ(cache.prefetch_first_uses(), 1u);
+  EXPECT_EQ(cache.access(5), AccessOutcome::kHitTagged);
+}
+
+TEST(TaggedCache, TracksRealizedPrefetchRate) {
+  TaggedCache cache(std::make_unique<LruCache>(10));
+  cache.access(1);  // miss, naccess=1
+  cache.admit_prefetch(2);
+  cache.admit_prefetch(3);
+  cache.access(2);  // naccess=2
+  EXPECT_DOUBLE_EQ(cache.realized_prefetch_rate(), 1.0);
+}
+
+// Statistical accuracy: IRM stream over a small hot set, cache large enough
+// to hold everything. Ground truth h' = hit ratio of an identical cache
+// receiving no prefetches.
+TEST(TaggedCache, EstimateMatchesGroundTruthUnderPrefetching) {
+  constexpr std::size_t kItems = 40;
+  constexpr std::size_t kCap = 400;
+  constexpr int kAccesses = 60000;
+
+  TaggedCache with_prefetch(std::make_unique<LruCache>(kCap));
+  TaggedCache without_prefetch(std::make_unique<LruCache>(kCap));
+
+  Rng rng(99);
+  Rng noise(100);
+  for (int i = 0; i < kAccesses; ++i) {
+    // Requests over items [0, kItems); prefetcher speculatively inserts
+    // *cold* items from a disjoint range (never accessed: pure pollution,
+    // which §4's protocol must not count as would-have-hits).
+    const std::uint64_t item = rng.next_below(kItems);
+    if (with_prefetch.access(item) == AccessOutcome::kMiss) {
+      with_prefetch.admit_demand(item);
+    }
+    if (without_prefetch.access(item) == AccessOutcome::kMiss) {
+      without_prefetch.admit_demand(item);
+    }
+    // Also prefetch a *hot* item sometimes: prefetch-caused hits must be
+    // excluded from ĥ'.
+    with_prefetch.admit_prefetch(1000 + noise.next_below(5000));
+    if (noise.bernoulli(0.3)) {
+      with_prefetch.admit_prefetch(noise.next_below(kItems));
+    }
+  }
+  const double truth = without_prefetch.estimator().estimate_model_a();
+  const double estimate = with_prefetch.estimate_model_a();
+  EXPECT_NEAR(estimate, truth, 0.02);
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,135 @@
+// Excess retrieval cost (paper §5): formula identities, positivity, and the
+// load-impedance phenomenon.
+#include <gtest/gtest.h>
+
+#include "core/excess_cost.hpp"
+#include "core/model_a.hpp"
+#include "util/contract.hpp"
+
+namespace specpf::core {
+namespace {
+
+SystemParams paper_params(double hit_ratio) {
+  SystemParams p;
+  p.bandwidth = 50.0;
+  p.request_rate = 30.0;
+  p.mean_item_size = 1.0;
+  p.hit_ratio = hit_ratio;
+  p.cache_items = 100.0;
+  return p;
+}
+
+TEST(RetrievalPerRequest, EquationTwentyFive) {
+  // R = ρ/(λ(1−ρ)).
+  EXPECT_DOUBLE_EQ(retrieval_time_per_request(0.6, 30.0),
+                   0.6 / (30.0 * 0.4));
+  EXPECT_DOUBLE_EQ(retrieval_time_per_request(0.0, 30.0), 0.0);
+}
+
+TEST(RetrievalPerRequest, BaselineIdentity) {
+  // R' for the no-prefetch system must equal f'·r̄' (each request retrieves
+  // f' items on average, each taking r̄').
+  const SystemParams params = paper_params(0.3);
+  const auto base = analyze_no_prefetch(params);
+  const double r_prime =
+      retrieval_time_per_request(base.utilization, params.request_rate);
+  EXPECT_NEAR(r_prime, params.fault_ratio() * base.retrieval_time, 1e-12);
+}
+
+TEST(ExcessCost, EquationTwentySeven) {
+  // C = (ρ−ρ')/(λ(1−ρ)(1−ρ')).
+  const double c = excess_cost(0.8, 0.6, 30.0);
+  EXPECT_NEAR(c, 0.2 / (30.0 * 0.2 * 0.4), 1e-12);
+}
+
+TEST(ExcessCost, ZeroWhenLoadUnchanged) {
+  EXPECT_DOUBLE_EQ(excess_cost(0.6, 0.6, 30.0), 0.0);
+}
+
+TEST(ExcessCost, PositiveWheneverPrefetchingAddsLoad) {
+  const SystemParams params = paper_params(0.0);
+  for (double p : {0.1, 0.5, 0.9}) {
+    for (double nf : {0.1, 0.5, 1.0}) {
+      if (nf * p > params.fault_ratio()) continue;
+      const auto a = analyze(params, {p, nf}, InteractionModel::kModelA);
+      if (!a.conditions.total_within_capacity || a.utilization >= 1.0) continue;
+      if (p < 1.0) {
+        // With p < 1 some prefetches are wasted, so load strictly rises.
+        EXPECT_GT(excess_cost(params, {p, nf}, InteractionModel::kModelA),
+                  0.0);
+      }
+    }
+  }
+}
+
+TEST(ExcessCost, ZeroAtPerfectPredictionModelA) {
+  // p = 1 under Model A: prefetches exactly replace demand fetches; ρ = ρ'
+  // and the excess cost vanishes.
+  const SystemParams params = paper_params(0.0);
+  const auto a = analyze(params, {1.0, 0.5}, InteractionModel::kModelA);
+  EXPECT_NEAR(a.utilization, a.baseline.utilization, 1e-12);
+  EXPECT_NEAR(excess_cost(params, {1.0, 0.5}, InteractionModel::kModelA), 0.0,
+              1e-12);
+}
+
+TEST(ExcessCost, IncreasingInPrefetchRate) {
+  const SystemParams params = paper_params(0.3);
+  double prev = 0.0;
+  for (double nf = 0.1; nf <= 1.0; nf += 0.1) {
+    const double c = excess_cost(params, {0.5, nf},
+                                 InteractionModel::kModelA);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ExcessCost, LoadImpedance) {
+  // §5: prefetching the same item costs more when the system is loaded.
+  // Compare the marginal cost of the same prefetch increment at low vs high
+  // baseline utilisation (vary λ).
+  SystemParams lightly_loaded = paper_params(0.0);
+  lightly_loaded.request_rate = 10.0;  // ρ' = 0.2
+  SystemParams heavily_loaded = paper_params(0.0);
+  heavily_loaded.request_rate = 40.0;  // ρ' = 0.8
+
+  const OperatingPoint op{0.3, 0.25};
+  const double c_light =
+      excess_cost(lightly_loaded, op, InteractionModel::kModelA);
+  const double c_heavy =
+      excess_cost(heavily_loaded, op, InteractionModel::kModelA);
+  EXPECT_GT(c_heavy, c_light);
+}
+
+TEST(ExcessCost, ConvexInPrefetchRate) {
+  // Load impedance again, as convexity along n̄(F): second differences of
+  // C(n̄(F)) are positive.
+  const SystemParams params = paper_params(0.0);
+  const double h = 0.05;
+  double c0 = excess_cost(params, {0.3, 0.2}, InteractionModel::kModelA);
+  double c1 = excess_cost(params, {0.3, 0.2 + h}, InteractionModel::kModelA);
+  double c2 =
+      excess_cost(params, {0.3, 0.2 + 2 * h}, InteractionModel::kModelA);
+  EXPECT_GT(c2 - c1, c1 - c0);
+}
+
+TEST(ExcessCost, HigherProbabilityLowersCost) {
+  // At equal n̄(F), better predictions convert more prefetches into avoided
+  // demand fetches, so C decreases with p (Fig. 3's ordering).
+  const SystemParams params = paper_params(0.0);
+  double prev = 1e9;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double c = excess_cost(params, {p, 0.5},
+                                 InteractionModel::kModelA);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ExcessCost, ContractsRejectUnstableInputs) {
+  EXPECT_THROW(excess_cost(1.0, 0.5, 30.0), ContractViolation);
+  EXPECT_THROW(excess_cost(0.5, 1.2, 30.0), ContractViolation);
+  EXPECT_THROW(retrieval_time_per_request(1.0, 30.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace specpf::core

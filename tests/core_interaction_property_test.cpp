@@ -1,0 +1,180 @@
+// Deeper property sweeps on the unified interaction algebra (Model AB
+// family): identities the closed forms must satisfy for every victim value
+// q ∈ [0, h'/n̄(C)], probability p, and prefetch rate n̄(F).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/excess_cost.hpp"
+#include "core/interaction.hpp"
+#include "queueing/mg1_ps.hpp"
+#include "util/math.hpp"
+
+namespace specpf::core {
+namespace {
+
+SystemParams make_params(double hit_ratio, double lambda = 30.0,
+                         double bandwidth = 50.0) {
+  SystemParams p;
+  p.bandwidth = bandwidth;
+  p.request_rate = lambda;
+  p.mean_item_size = 1.0;
+  p.hit_ratio = hit_ratio;
+  p.cache_items = 100.0;
+  return p;
+}
+
+using Sweep = std::tuple<double, double, double, double>;  // h', p, nF, q_frac
+
+class InteractionAlgebra : public ::testing::TestWithParam<Sweep> {
+ protected:
+  void SetUp() override {
+    const auto [h, p, nf, q_frac] = GetParam();
+    params_ = make_params(h);
+    q_ = q_frac * params_.hit_ratio / params_.cache_items;
+    op_ = OperatingPoint{p, nf};
+    analysis_ = analyze_with_victim_value(params_, op_, q_);
+  }
+
+  SystemParams params_;
+  OperatingPoint op_;
+  double q_ = 0.0;
+  PrefetchAnalysis analysis_;
+};
+
+TEST_P(InteractionAlgebra, HitRatioDecomposition) {
+  // h = h' + n̄(F)(p − q) exactly.
+  EXPECT_NEAR(analysis_.hit_ratio,
+              params_.hit_ratio + op_.prefetch_rate *
+                                      (op_.access_probability - q_),
+              1e-12);
+}
+
+TEST_P(InteractionAlgebra, UtilizationDecomposition) {
+  // ρ = ρ' + n̄(F)(1 − p + q)·λs̄/b: the extra load is the prefetch traffic
+  // minus the demand traffic it displaces.
+  const double extra = op_.prefetch_rate *
+                       (1.0 - op_.access_probability + q_) *
+                       params_.request_rate * params_.mean_item_size /
+                       params_.bandwidth;
+  EXPECT_NEAR(analysis_.utilization, analysis_.baseline.utilization + extra,
+              1e-12);
+}
+
+TEST_P(InteractionAlgebra, RetrievalTimeIsPsSojourn) {
+  // r̄ must equal the M/G/1-PS sojourn at the *effective* arrival rate
+  // (1 − h + n̄(F))λ — the paper's eq. (2) applied to eq. (8)'s stream.
+  if (!analysis_.conditions.total_within_capacity) GTEST_SKIP();
+  const double effective_rate =
+      (1.0 - analysis_.hit_ratio + op_.prefetch_rate) * params_.request_rate;
+  const MG1PS queue(effective_rate, params_.service_time());
+  ASSERT_TRUE(queue.stable());
+  EXPECT_NEAR(analysis_.retrieval_time, queue.mean_sojourn(), 1e-12);
+}
+
+TEST_P(InteractionAlgebra, AccessTimeIsMissWeightedSojourn) {
+  if (!analysis_.conditions.total_within_capacity) GTEST_SKIP();
+  EXPECT_NEAR(analysis_.access_time,
+              (1.0 - analysis_.hit_ratio) * analysis_.retrieval_time, 1e-12);
+}
+
+TEST_P(InteractionAlgebra, GainIsBaselineMinusPrefetch) {
+  if (!analysis_.conditions.total_within_capacity) GTEST_SKIP();
+  EXPECT_NEAR(analysis_.gain,
+              analysis_.baseline.access_time - analysis_.access_time, 1e-10);
+}
+
+TEST_P(InteractionAlgebra, ThresholdIsUtilizationPlusVictimValue) {
+  EXPECT_NEAR(analysis_.threshold, analysis_.baseline.utilization + q_,
+              1e-12);
+}
+
+TEST_P(InteractionAlgebra, RetrievalTimePerRequestIdentity) {
+  // R = ρ/(λ(1−ρ)) must equal n̄(R)·r̄ with n̄(R) = 1 − h + n̄(F). Eq. (25).
+  if (!analysis_.conditions.total_within_capacity ||
+      analysis_.utilization >= 1.0) {
+    GTEST_SKIP();
+  }
+  const double n_retrievals = 1.0 - analysis_.hit_ratio + op_.prefetch_rate;
+  const double r_direct = n_retrievals * analysis_.retrieval_time;
+  const double r_formula = retrieval_time_per_request(
+      analysis_.utilization, params_.request_rate);
+  EXPECT_NEAR(r_direct, r_formula, 1e-12);
+}
+
+TEST_P(InteractionAlgebra, ExcessCostMatchesRetrievalDifference) {
+  // C = R − R' (eq. 23) computed directly must equal eq. (27).
+  if (!analysis_.conditions.total_within_capacity ||
+      analysis_.utilization >= 1.0) {
+    GTEST_SKIP();
+  }
+  const double r = retrieval_time_per_request(analysis_.utilization,
+                                              params_.request_rate);
+  const double r_prime = retrieval_time_per_request(
+      analysis_.baseline.utilization, params_.request_rate);
+  const double c = excess_cost(analysis_.utilization,
+                               analysis_.baseline.utilization,
+                               params_.request_rate);
+  EXPECT_NEAR(c, r - r_prime, 1e-12);
+}
+
+TEST_P(InteractionAlgebra, GainMonotoneInVictimValue) {
+  // More valuable victims ⇒ less gain, higher threshold (fixed p, n̄(F)).
+  const auto worse = analyze_with_victim_value(params_, op_, q_ + 0.001);
+  if (analysis_.conditions.total_within_capacity &&
+      worse.conditions.total_within_capacity) {
+    EXPECT_LT(worse.gain, analysis_.gain + 1e-15);
+    EXPECT_GT(worse.threshold, analysis_.threshold);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InteractionAlgebra,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.6),      // h'
+                       ::testing::Values(0.2, 0.5, 0.8),      // p
+                       ::testing::Values(0.25, 0.5, 1.0),     // n̄(F)
+                       ::testing::Values(0.0, 0.5, 1.0)));    // q as frac of h'/n̄C
+
+// --- scaling properties across system sizes ---
+
+TEST(InteractionScaling, GainScalesInverselyWithBandwidthAtFixedRho) {
+  // Scaling (b, λ) together keeps ρ' and p_th fixed while all times shrink
+  // by the bandwidth factor — t̄ and G are homogeneous of degree −1.
+  const OperatingPoint op{0.7, 0.5};
+  const auto small = analyze(make_params(0.3, 30.0, 50.0), op,
+                             InteractionModel::kModelA);
+  const auto big = analyze(make_params(0.3, 300.0, 500.0), op,
+                           InteractionModel::kModelA);
+  EXPECT_NEAR(small.threshold, big.threshold, 1e-12);
+  EXPECT_NEAR(small.gain, 10.0 * big.gain, 1e-12);
+  EXPECT_NEAR(small.access_time, 10.0 * big.access_time, 1e-12);
+}
+
+TEST(InteractionScaling, ItemSizeAndBandwidthOnlyEnterAsRatio) {
+  const OperatingPoint op{0.6, 0.4};
+  SystemParams a = make_params(0.2);
+  a.mean_item_size = 2.0;
+  a.bandwidth = 100.0;
+  SystemParams b = make_params(0.2);
+  b.mean_item_size = 1.0;
+  b.bandwidth = 50.0;
+  const auto ra = analyze(a, op, InteractionModel::kModelA);
+  const auto rb = analyze(b, op, InteractionModel::kModelA);
+  EXPECT_NEAR(ra.utilization, rb.utilization, 1e-12);
+  EXPECT_NEAR(ra.threshold, rb.threshold, 1e-12);
+  EXPECT_NEAR(ra.hit_ratio, rb.hit_ratio, 1e-12);
+  // Times scale with s̄/b, which is equal here too.
+  EXPECT_NEAR(ra.access_time, rb.access_time, 1e-12);
+}
+
+TEST(InteractionScaling, ThresholdIndependentOfPrefetchRate) {
+  const SystemParams params = make_params(0.3);
+  for (double nf : {0.1, 0.5, 1.0, 1.5}) {
+    const auto r = analyze(params, {0.5, nf}, InteractionModel::kModelA);
+    EXPECT_NEAR(r.threshold, 0.42, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace specpf::core

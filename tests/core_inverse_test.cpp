@@ -1,0 +1,236 @@
+// Inverse (QoS-provisioning) problems: each inversion is checked by
+// plugging the answer back into the forward closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/inverse.hpp"
+#include "core/no_prefetch.hpp"
+#include "util/contract.hpp"
+
+namespace specpf::core {
+namespace {
+
+SystemParams paper_params(double hit_ratio) {
+  SystemParams p;
+  p.bandwidth = 50.0;
+  p.request_rate = 30.0;
+  p.mean_item_size = 1.0;
+  p.hit_ratio = hit_ratio;
+  p.cache_items = 100.0;
+  return p;
+}
+
+TEST(MinBandwidth, RoundTripsThroughEquationFive) {
+  for (double h : {0.0, 0.3, 0.7}) {
+    for (double target : {0.01, 0.05, 0.2}) {
+      SystemParams params = paper_params(h);
+      const double b = min_bandwidth_for_access_time(params, target);
+      params.bandwidth = b;
+      const auto base = analyze_no_prefetch(params);
+      EXPECT_NEAR(base.access_time, target, 1e-9)
+          << "h=" << h << " target=" << target;
+    }
+  }
+}
+
+TEST(MinBandwidth, PerfectCacheNeedsNoBandwidth) {
+  EXPECT_DOUBLE_EQ(min_bandwidth_for_access_time(paper_params(1.0), 0.05),
+                   0.0);
+}
+
+TEST(MinBandwidth, TighterTargetsNeedMoreBandwidth) {
+  const SystemParams params = paper_params(0.3);
+  EXPECT_GT(min_bandwidth_for_access_time(params, 0.01),
+            min_bandwidth_for_access_time(params, 0.1));
+}
+
+TEST(MinBandwidth, PrefetchVariantRoundTrips) {
+  const OperatingPoint op{0.7, 0.5};
+  for (double target : {0.02, 0.06}) {
+    SystemParams params = paper_params(0.3);
+    const double b = min_bandwidth_for_access_time(
+        params, op, InteractionModel::kModelA, target);
+    params.bandwidth = b;
+    const auto a = analyze(params, op, InteractionModel::kModelA);
+    EXPECT_NEAR(a.access_time, target, 1e-9);
+  }
+}
+
+TEST(MinBandwidth, PrefetchingItemsAboveThresholdReducesRequirement) {
+  // For the same access-time target, a system prefetching good candidates
+  // needs *less* bandwidth than the no-prefetch system (that is the point
+  // of prefetching); with p below threshold it needs more.
+  const SystemParams params = paper_params(0.3);
+  const double target = 0.02;
+  const double b_plain = min_bandwidth_for_access_time(params, target);
+  const double b_good = min_bandwidth_for_access_time(
+      params, {0.9, 0.5}, InteractionModel::kModelA, target);
+  const double b_bad = min_bandwidth_for_access_time(
+      params, {0.1, 0.5}, InteractionModel::kModelA, target);
+  EXPECT_LT(b_good, b_plain);
+  EXPECT_GT(b_bad, b_plain);
+}
+
+TEST(MaxPrefetchRate, RoundTripsThroughAccessTime) {
+  const SystemParams params = paper_params(0.3);
+  const double p = 0.6;  // above p_th = 0.42: t̄ decreasing in n̄(F)
+  const auto base = analyze_no_prefetch(params);
+  // Target between t̄(0) and t̄ at the admissible edge: solution interior.
+  const double target = base.access_time * 0.8;
+  const double nf = max_prefetch_rate_for_access_time(
+      params, p, InteractionModel::kModelA, target);
+  ASSERT_GT(nf, 0.0);
+  const auto a = analyze(params, {p, nf}, InteractionModel::kModelA);
+  EXPECT_NEAR(a.access_time, target, 1e-9);
+}
+
+TEST(MaxPrefetchRate, SubThresholdBudgetCapsAtTargetViolation) {
+  // p below threshold: t̄ increases with n̄(F); budget is how much pollution
+  // a latency SLO tolerates.
+  const SystemParams params = paper_params(0.3);
+  const double p = 0.2;
+  const auto base = analyze_no_prefetch(params);
+  const double target = base.access_time * 1.2;  // 20% latency headroom
+  const double nf = max_prefetch_rate_for_access_time(
+      params, p, InteractionModel::kModelA, target);
+  ASSERT_GT(nf, 0.0);
+  const auto a = analyze(params, {p, nf}, InteractionModel::kModelA);
+  EXPECT_NEAR(a.access_time, target, 1e-9);
+  // Slightly more prefetching must violate the target.
+  const auto beyond = analyze(params, {p, nf * 1.05},
+                              InteractionModel::kModelA);
+  EXPECT_GT(beyond.access_time, target);
+}
+
+TEST(MaxPrefetchRate, UnreachableTargetGivesZero) {
+  const SystemParams params = paper_params(0.3);
+  const auto base = analyze_no_prefetch(params);
+  // Demand a *lower* access time than sub-threshold prefetching can ever
+  // give: nothing is admissible.
+  EXPECT_DOUBLE_EQ(max_prefetch_rate_for_access_time(
+                       params, 0.2, InteractionModel::kModelA,
+                       base.access_time * 0.5),
+                   0.0);
+}
+
+TEST(MaxPrefetchRate, GenerousTargetGivesFullBudget) {
+  const SystemParams params = paper_params(0.3);
+  const double p = 0.9;
+  const double nf = max_prefetch_rate_for_access_time(
+      params, p, InteractionModel::kModelA, 10.0);
+  EXPECT_NEAR(nf, params.fault_ratio() / p, 1e-9);  // max(np)
+}
+
+TEST(MaxPrefetchForUtilization, RoundTripsThroughRho) {
+  const SystemParams params = paper_params(0.3);  // ρ' = 0.42
+  for (double cap : {0.6, 0.8, 0.95}) {
+    const double nf = max_prefetch_rate_for_utilization(
+        params, 0.5, InteractionModel::kModelA, cap);
+    ASSERT_GT(nf, 0.0);
+    if (nf < params.fault_ratio() / 0.5 - 1e-9) {  // cap binding
+      const auto a = analyze(params, {0.5, nf}, InteractionModel::kModelA);
+      EXPECT_NEAR(a.utilization, cap, 1e-9) << "cap=" << cap;
+    }
+  }
+}
+
+TEST(MaxPrefetchForUtilization, ZeroWhenAlreadyOverCap) {
+  const SystemParams params = paper_params(0.3);  // ρ' = 0.42
+  EXPECT_DOUBLE_EQ(max_prefetch_rate_for_utilization(
+                       params, 0.5, InteractionModel::kModelA, 0.40),
+                   0.0);
+}
+
+TEST(MaxPrefetchForUtilization, PerfectPredictionGetsFullBudget) {
+  const SystemParams params = paper_params(0.3);
+  // p=1 under Model A adds no load: budget = max(np) = f'.
+  EXPECT_NEAR(max_prefetch_rate_for_utilization(
+                  params, 1.0, InteractionModel::kModelA, 0.5),
+              params.fault_ratio(), 1e-12);
+}
+
+TEST(MaxPrefetchForUtilization, RejectsInvalidCap) {
+  const SystemParams params = paper_params(0.3);
+  EXPECT_THROW(max_prefetch_rate_for_utilization(
+                   params, 0.5, InteractionModel::kModelA, 1.0),
+               ContractViolation);
+}
+
+TEST(MinProbability, ZeroGainRecoversThreshold) {
+  for (double h : {0.0, 0.3, 0.6}) {
+    const SystemParams params = paper_params(h);
+    for (auto model :
+         {InteractionModel::kModelA, InteractionModel::kModelB}) {
+      const double p0 =
+          min_probability_for_gain(params, 0.5, model, 0.0);
+      EXPECT_NEAR(p0, threshold(params, model), 1e-12);
+    }
+  }
+}
+
+TEST(MinProbability, RoundTripsThroughGain) {
+  const SystemParams params = paper_params(0.3);
+  const double nf = 0.5;
+  for (double g : {0.002, 0.005, 0.01}) {
+    const double p =
+        min_probability_for_gain(params, nf, InteractionModel::kModelA, g);
+    ASSERT_LE(p, 1.0) << "gain " << g << " should be attainable";
+    const auto a = analyze(params, {p, nf}, InteractionModel::kModelA);
+    EXPECT_NEAR(a.gain, g, 1e-9);
+  }
+}
+
+TEST(MinProbability, ImpossibleGainSignalled) {
+  const SystemParams params = paper_params(0.3);
+  EXPECT_GT(min_probability_for_gain(params, 0.5,
+                                     InteractionModel::kModelA, 100.0),
+            1.0);
+}
+
+TEST(MinProbability, MonotoneInTargetGain) {
+  const SystemParams params = paper_params(0.0);
+  double prev = 0.0;
+  for (double g : {0.0, 0.005, 0.01, 0.02}) {
+    const double p =
+        min_probability_for_gain(params, 0.5, InteractionModel::kModelA, g);
+    EXPECT_GT(p, prev - 1e-15);
+    prev = p;
+  }
+}
+
+TEST(DemandHeadroom, RoundTripsThroughEquationFive) {
+  SystemParams params = paper_params(0.3);
+  const auto base = analyze_no_prefetch(params);
+  const double target = base.access_time * 2.0;  // allow 2x latency
+  const double headroom = demand_growth_headroom(params, target);
+  ASSERT_GT(headroom, 1.0);
+  params.request_rate *= headroom;
+  const auto grown = analyze_no_prefetch(params);
+  EXPECT_NEAR(grown.access_time, target, 1e-9);
+}
+
+TEST(DemandHeadroom, BelowOneWhenAlreadyViolated) {
+  const SystemParams params = paper_params(0.3);
+  const auto base = analyze_no_prefetch(params);
+  EXPECT_LT(demand_growth_headroom(params, base.access_time * 0.5), 1.0);
+}
+
+TEST(DemandHeadroom, InfiniteForPerfectCache) {
+  EXPECT_TRUE(std::isinf(demand_growth_headroom(paper_params(1.0), 0.01)));
+}
+
+TEST(InverseContracts, RejectBadInputs) {
+  const SystemParams params = paper_params(0.3);
+  EXPECT_THROW(min_bandwidth_for_access_time(params, 0.0),
+               ContractViolation);
+  EXPECT_THROW(max_prefetch_rate_for_access_time(
+                   params, 0.0, InteractionModel::kModelA, 0.1),
+               ContractViolation);
+  EXPECT_THROW(
+      min_probability_for_gain(params, 0.0, InteractionModel::kModelA, 0.01),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace specpf::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "util/contract.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(5.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Simulator, CancelledEventsDoNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  sim.cancel(id);  // no-op
+  sim.cancel(id);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId later;
+  sim.schedule_at(1.0, [&] { sim.cancel(later); });
+  later = sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndSetsClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  sim.schedule_at(10.0, [&] { fired.push_back(10.0); });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtExactHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), ContractViolation);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, LargeVolumeStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  std::uint64_t fired = 0;
+  // Deterministic pseudo-random times, including duplicates.
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    sim.schedule_at(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      ++fired;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 20000u);
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,121 @@
+// Regression pins for the reproduced figures: exact closed-form values at
+// named grid points of Figs. 1–3 and the §6 table. If a refactor of the
+// core algebra shifts any of these, a figure would silently change shape —
+// these tests catch that before the benches do.
+#include <gtest/gtest.h>
+
+#include "core/excess_cost.hpp"
+#include "core/interaction.hpp"
+#include "core/model_a.hpp"
+#include "core/model_b.hpp"
+
+namespace specpf::core {
+namespace {
+
+SystemParams params_at(double hit_ratio, double bandwidth = 50.0,
+                       double size = 1.0) {
+  SystemParams p;
+  p.bandwidth = bandwidth;
+  p.request_rate = 30.0;
+  p.mean_item_size = size;
+  p.hit_ratio = hit_ratio;
+  p.cache_items = 100.0;
+  return p;
+}
+
+// --- Fig. 1 pins: p_th = f'λs/b ---
+
+TEST(Fig1Pins, PanelHZero) {
+  EXPECT_DOUBLE_EQ(model_a::threshold(params_at(0.0, 50.0, 1.0)), 0.6);
+  EXPECT_DOUBLE_EQ(model_a::threshold(params_at(0.0, 100.0, 1.0)), 0.3);
+  EXPECT_DOUBLE_EQ(model_a::threshold(params_at(0.0, 300.0, 5.0)), 0.5);
+  EXPECT_DOUBLE_EQ(model_a::threshold(params_at(0.0, 450.0, 10.0)),
+                   30.0 * 10.0 / 450.0);
+}
+
+TEST(Fig1Pins, PanelHPointThree) {
+  EXPECT_NEAR(model_a::threshold(params_at(0.3, 50.0, 1.0)), 0.42, 1e-12);
+  EXPECT_NEAR(model_a::threshold(params_at(0.3, 150.0, 2.0)), 0.28, 1e-12);
+  // Panel ratio: h'=0.3 thresholds are exactly 0.7× the h'=0 ones.
+  for (double b : {50.0, 200.0, 450.0}) {
+    for (double s : {0.5, 3.0, 8.0}) {
+      EXPECT_NEAR(model_a::threshold(params_at(0.3, b, s)),
+                  0.7 * model_a::threshold(params_at(0.0, b, s)), 1e-12);
+    }
+  }
+}
+
+// --- Fig. 2 pins: G values on the plotted grid (h'=0 panel) ---
+
+TEST(Fig2Pins, PanelHZeroSpotValues) {
+  const SystemParams p = params_at(0.0);
+  // From the regenerated table: G(p=0.7, nF=2.0) = 0.25 exactly:
+  // 2·1·(35−30)/((20)(50−30−2·0.3·30)) = 10/(20·2) = 0.25.
+  EXPECT_NEAR(model_a::gain(p, 0.7, 2.0), 0.25, 1e-12);
+  // G(p=0.9, nF=1.0) = 1·(45−30)/((20)(50−30−3)) = 15/340.
+  EXPECT_NEAR(model_a::gain(p, 0.9, 1.0), 15.0 / 340.0, 1e-12);
+  // G(p=0.5, nF=1.0) = (25−30)/((20)(50−30−15)) = −5/100.
+  EXPECT_NEAR(model_a::gain(p, 0.5, 1.0), -0.05, 1e-12);
+  // p = p_th ⇒ identically zero at any admissible nF.
+  for (double nf : {0.2, 0.8, 1.4}) {
+    EXPECT_NEAR(model_a::gain(p, 0.6, nf), 0.0, 1e-15);
+  }
+}
+
+TEST(Fig2Pins, PanelHPointThreeSpotValues) {
+  const SystemParams p = params_at(0.3);
+  // p_th = 0.42: G(0.5, 1.0) = 1·(25−21)/((29)(50−21−15)) = 4/(29·14).
+  EXPECT_NEAR(model_a::gain(p, 0.5, 1.0), 4.0 / (29.0 * 14.0), 1e-12);
+  // Below threshold: G(0.3, 0.5) = 0.5·(15−21)/((29)(50−21−0.5·0.7·30))
+  EXPECT_NEAR(model_a::gain(p, 0.3, 0.5),
+              0.5 * (15.0 - 21.0) / (29.0 * (29.0 - 10.5)), 1e-12);
+}
+
+// --- Fig. 3 pins: C = (ρ−ρ')/(λ(1−ρ)(1−ρ')) ---
+
+TEST(Fig3Pins, SpotValues) {
+  const SystemParams p = params_at(0.0);
+  // p=0.5, nF=1: ρ = (1−0.5+1)·0.6 = 0.9, ρ' = 0.6.
+  {
+    const auto a = analyze(p, {0.5, 1.0}, InteractionModel::kModelA);
+    EXPECT_NEAR(a.utilization, 0.9, 1e-12);
+    EXPECT_NEAR(excess_cost(a.utilization, 0.6, 30.0),
+                0.3 / (30.0 * 0.1 * 0.4), 1e-12);
+  }
+  // p=0.9, nF=1: ρ = (1−0.9+1)·0.6 = 0.66.
+  {
+    const auto a = analyze(p, {0.9, 1.0}, InteractionModel::kModelA);
+    EXPECT_NEAR(excess_cost(a.utilization, 0.6, 30.0),
+                0.06 / (30.0 * 0.34 * 0.4), 1e-12);
+  }
+}
+
+// --- §6 table pins ---
+
+TEST(Section6Pins, ThresholdGapAndConvergence) {
+  const OperatingPoint op{0.7, 1.0};
+  SystemParams p = params_at(0.3);
+  p.cache_items = 20.0;
+  EXPECT_NEAR(model_b::threshold(p) - model_a::threshold(p), 0.015, 1e-12);
+  EXPECT_NEAR(model_a::hit_ratio(p, op.access_probability, op.prefetch_rate),
+              1.0, 1e-12);
+  EXPECT_NEAR(model_b::hit_ratio(p, op.access_probability, op.prefetch_rate),
+              0.985, 1e-12);
+  // Exact G values listed in the regenerated §6 table at n̄(C)=20.
+  EXPECT_NEAR(model_a::gain(p, 0.7, 1.0), 0.02414, 5e-6);
+  EXPECT_NEAR(model_b::gain(p, 0.7, 1.0), 0.02337, 5e-6);
+}
+
+// --- reference-point constants quoted throughout the docs ---
+
+TEST(ReferencePins, NoPrefetchBaselines) {
+  const auto h0 = analyze_no_prefetch(params_at(0.0));
+  EXPECT_DOUBLE_EQ(h0.access_time, 0.05);
+  EXPECT_DOUBLE_EQ(h0.utilization, 0.6);
+  const auto h3 = analyze_no_prefetch(params_at(0.3));
+  EXPECT_NEAR(h3.access_time, 0.7 / 29.0, 1e-15);
+  EXPECT_NEAR(h3.utilization, 0.42, 1e-15);
+}
+
+}  // namespace
+}  // namespace specpf::core

@@ -1,0 +1,149 @@
+// Differential test for the virtual-time PS server: an independent, naive
+// O(n²) processor-sharing simulator (advance all remaining works between
+// events) must produce identical completion times on random workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/ps_server.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+namespace {
+
+struct Arrival {
+  double time;
+  double size;
+};
+
+/// Reference PS: event-by-event remaining-work bookkeeping, no virtual time.
+std::vector<double> naive_ps_completions(const std::vector<Arrival>& arrivals,
+                                         double bandwidth) {
+  struct Job {
+    double remaining;
+    std::size_t index;
+  };
+  std::vector<double> completions(arrivals.size(), -1.0);
+  std::vector<Job> active;
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+
+  while (next_arrival < arrivals.size() || !active.empty()) {
+    // Next completion among active jobs at current sharing rate.
+    double next_completion = std::numeric_limits<double>::infinity();
+    if (!active.empty()) {
+      const double rate = bandwidth / static_cast<double>(active.size());
+      double min_remaining = std::numeric_limits<double>::infinity();
+      for (const Job& j : active) {
+        min_remaining = std::min(min_remaining, j.remaining);
+      }
+      next_completion = now + min_remaining / rate;
+    }
+    const double next_arrival_time =
+        next_arrival < arrivals.size()
+            ? arrivals[next_arrival].time
+            : std::numeric_limits<double>::infinity();
+
+    if (next_arrival_time <= next_completion) {
+      // Advance work to the arrival instant, then admit.
+      if (!active.empty()) {
+        const double rate = bandwidth / static_cast<double>(active.size());
+        for (Job& j : active) j.remaining -= rate * (next_arrival_time - now);
+      }
+      now = next_arrival_time;
+      active.push_back(Job{arrivals[next_arrival].size, next_arrival});
+      ++next_arrival;
+    } else {
+      const double rate = bandwidth / static_cast<double>(active.size());
+      for (Job& j : active) j.remaining -= rate * (next_completion - now);
+      now = next_completion;
+      // Retire every job whose remaining work hit zero (ties complete
+      // together, matching the egalitarian server).
+      for (auto it = active.begin(); it != active.end();) {
+        if (it->remaining <= 1e-9 * bandwidth) {
+          completions[it->index] = now;
+          it = active.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return completions;
+}
+
+std::vector<double> server_ps_completions(const std::vector<Arrival>& arrivals,
+                                          double bandwidth) {
+  Simulator sim;
+  PsServer server(sim, bandwidth);
+  std::vector<double> completions(arrivals.size(), -1.0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    sim.schedule_at(arrivals[i].time, [&, i] {
+      server.submit(arrivals[i].size, [&completions, i](const TransferResult& r) {
+        completions[i] = r.finish_time;
+      });
+    });
+  }
+  sim.run();
+  return completions;
+}
+
+class PsDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsDifferential, MatchesNaiveReferenceOnRandomWorkload) {
+  Rng rng(GetParam());
+  const double bandwidth = 1.0 + rng.next_double() * 9.0;
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  const std::size_t n = 200 + rng.next_below(300);
+  for (std::size_t i = 0; i < n; ++i) {
+    t += -0.2 * std::log1p(-rng.next_double());
+    arrivals.push_back({t, 0.01 + rng.next_double() * 3.0});
+  }
+  const auto expected = naive_ps_completions(arrivals, bandwidth);
+  const auto actual = server_ps_completions(arrivals, bandwidth);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_GT(actual[i], 0.0) << "job " << i << " never completed";
+    EXPECT_NEAR(actual[i], expected[i], 1e-6)
+        << "job " << i << " of " << n << " (seed " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsDifferential,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(PsDifferential, SimultaneousArrivalsAndEqualSizes) {
+  // Adversarial ties: equal sizes arriving at identical instants.
+  std::vector<Arrival> arrivals;
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int j = 0; j < 4; ++j) {
+      arrivals.push_back({batch * 0.5, 1.0});
+    }
+  }
+  const auto expected = naive_ps_completions(arrivals, 4.0);
+  const auto actual = server_ps_completions(arrivals, 4.0);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-6) << i;
+  }
+}
+
+TEST(PsDifferential, ExtremeSizeContrast) {
+  // A giant job with a stream of tiny ones riding through it.
+  std::vector<Arrival> arrivals{{0.0, 100.0}};
+  for (int i = 1; i <= 50; ++i) {
+    arrivals.push_back({static_cast<double>(i) * 0.1, 0.01});
+  }
+  const auto expected = naive_ps_completions(arrivals, 2.0);
+  const auto actual = server_ps_completions(arrivals, 2.0);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-5) << i;
+  }
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "queueing/mg1_ps.hpp"
+#include "queueing/mm1.hpp"
+#include "util/contract.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(MG1PS, UtilizationIsLambdaTimesService) {
+  MG1PS q(30.0, 1.0 / 50.0);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.6);
+  EXPECT_TRUE(q.stable());
+}
+
+TEST(MG1PS, SojournMatchesPaperEquationTwo) {
+  // Paper eq. (2): r̄ = x/(1-ρ).
+  MG1PS q(30.0, 0.02);  // ρ = 0.6
+  EXPECT_DOUBLE_EQ(q.mean_sojourn_for(0.02), 0.02 / 0.4);
+  EXPECT_DOUBLE_EQ(q.mean_sojourn(), 0.05);
+}
+
+TEST(MG1PS, SojournLinearInServiceRequirement) {
+  MG1PS q(10.0, 0.05);  // ρ = 0.5
+  EXPECT_DOUBLE_EQ(q.mean_sojourn_for(0.2), 2.0 * q.mean_sojourn_for(0.1));
+}
+
+TEST(MG1PS, SlowdownDivergesNearSaturation) {
+  MG1PS q(99.0, 0.01);  // ρ = 0.99
+  EXPECT_NEAR(q.slowdown(), 100.0, 1e-9);
+}
+
+TEST(MG1PS, LittlesLawConsistency) {
+  MG1PS q(20.0, 0.03);  // ρ = 0.6
+  EXPECT_NEAR(q.mean_jobs_in_system(),
+              q.arrival_rate() * q.mean_sojourn(), 1e-12);
+}
+
+TEST(MG1PS, UnstableSystemRejectsSojournQuery) {
+  MG1PS q(100.0, 0.02);  // ρ = 2
+  EXPECT_FALSE(q.stable());
+  EXPECT_THROW(q.mean_sojourn(), ContractViolation);
+}
+
+TEST(MG1PS, RejectsBadConstruction) {
+  EXPECT_THROW(MG1PS(-1.0, 0.1), ContractViolation);
+  EXPECT_THROW(MG1PS(1.0, 0.0), ContractViolation);
+}
+
+TEST(MM1, ClassicFormulas) {
+  MM1 q(3.0, 5.0);  // ρ = 0.6
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.6);
+  EXPECT_DOUBLE_EQ(q.mean_sojourn(), 0.5);           // 1/(5-3)
+  EXPECT_NEAR(q.mean_wait(), 0.3, 1e-12);            // ρ/(μ-λ)
+  EXPECT_NEAR(q.mean_jobs_in_system(), 1.5, 1e-12);  // ρ/(1-ρ)
+}
+
+TEST(MM1, StationaryDistributionSumsToOne) {
+  MM1 q(4.0, 5.0);
+  double total = 0.0;
+  for (std::size_t n = 0; n < 200; ++n) total += q.prob_n_jobs(n);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MM1, SojournDecomposesIntoWaitPlusService) {
+  MM1 q(2.0, 8.0);
+  EXPECT_NEAR(q.mean_sojourn(), q.mean_wait() + 1.0 / 8.0, 1e-12);
+}
+
+TEST(MG1Fcfs, PollaczekKhinchineMatchesMm1SpecialCase) {
+  // For exponential service (E[S²] = 2/μ²), PK reduces to the M/M/1 wait.
+  const double lambda = 3.0, mu = 5.0;
+  const double pk =
+      mg1_fcfs_mean_wait(lambda, 1.0 / mu, 2.0 / (mu * mu));
+  MM1 q(lambda, mu);
+  EXPECT_NEAR(pk, q.mean_wait(), 1e-12);
+}
+
+TEST(MG1Fcfs, DeterministicServiceHalvesWait) {
+  // E[S²] = x² for deterministic vs 2x² for exponential: half the wait.
+  const double lambda = 3.0, x = 0.2;
+  const double det = mg1_fcfs_mean_wait(lambda, x, x * x);
+  const double exp = mg1_fcfs_mean_wait(lambda, x, 2 * x * x);
+  EXPECT_NEAR(det * 2.0, exp, 1e-12);
+}
+
+TEST(MG1Fcfs, RejectsUnstable) {
+  EXPECT_THROW(mg1_fcfs_mean_wait(10.0, 0.2, 0.08), ContractViolation);
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,195 @@
+// Abstract validation simulator vs the paper's closed forms. These are the
+// central reproduction tests: the DES realises the paper's stochastic
+// assumptions and must land on eqs. (5), (7)–(11), (15)–(19), (27).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/excess_cost.hpp"
+#include "sim/abstract_sim.hpp"
+#include "sim/experiment.hpp"
+#include "sim/validation.hpp"
+#include "util/contract.hpp"
+
+namespace specpf {
+namespace {
+
+using core::InteractionModel;
+using core::OperatingPoint;
+using core::SystemParams;
+
+SystemParams paper_params(double hit_ratio) {
+  SystemParams p;
+  p.bandwidth = 50.0;
+  p.request_rate = 30.0;
+  p.mean_item_size = 1.0;
+  p.hit_ratio = hit_ratio;
+  p.cache_items = 100.0;
+  return p;
+}
+
+AbstractSimConfig base_config(double hit_ratio, double p, double nf,
+                              InteractionModel model) {
+  AbstractSimConfig cfg;
+  cfg.params = paper_params(hit_ratio);
+  cfg.op = OperatingPoint{p, nf};
+  cfg.model = model;
+  cfg.duration = 1500.0;
+  cfg.warmup = 150.0;
+  cfg.seed = 20260608;
+  return cfg;
+}
+
+TEST(AbstractSim, NoPrefetchMatchesEquationFive) {
+  // t̄' = 0.05 at the paper's reference point (h'=0).
+  auto cfg = base_config(0.0, 0.5, 0.0, InteractionModel::kModelA);
+  const auto batch = run_abstract_replications(cfg, 8);
+  EXPECT_NEAR(batch.access_time.mean, 0.05, 0.004);
+  EXPECT_NEAR(batch.utilization.mean, 0.6, 0.02);
+  EXPECT_NEAR(batch.hit_ratio.mean, 0.0, 1e-12);
+}
+
+TEST(AbstractSim, NoPrefetchWithCacheMatchesEquationFive) {
+  auto cfg = base_config(0.3, 0.5, 0.0, InteractionModel::kModelA);
+  const auto batch = run_abstract_replications(cfg, 8);
+  EXPECT_NEAR(batch.access_time.mean, 0.7 / 29.0, 0.002);
+  EXPECT_NEAR(batch.utilization.mean, 0.42, 0.02);
+  EXPECT_NEAR(batch.hit_ratio.mean, 0.3, 0.01);
+}
+
+struct ValidationCase {
+  double hit_ratio, p, nf;
+  InteractionModel model;
+};
+
+class AbstractSimValidation
+    : public ::testing::TestWithParam<ValidationCase> {};
+
+TEST_P(AbstractSimValidation, MatchesClosedFormsWithinTolerance) {
+  const auto [h, p, nf, model] = GetParam();
+  auto cfg = base_config(h, p, nf, model);
+  const auto analytic = core::analyze(cfg.params, cfg.op, model);
+  ASSERT_TRUE(analytic.conditions.total_within_capacity);
+
+  const auto batch = run_abstract_replications(cfg, 8);
+  EXPECT_NEAR(batch.hit_ratio.mean, analytic.hit_ratio, 0.01)
+      << "hit ratio mismatch";
+  EXPECT_NEAR(batch.utilization.mean, analytic.utilization, 0.025)
+      << "utilization mismatch";
+  // Access time: within 8% relative (PS sojourn tails are noisy).
+  EXPECT_NEAR(batch.access_time.mean / analytic.access_time, 1.0, 0.08)
+      << "access time mismatch: sim=" << batch.access_time.mean
+      << " analytic=" << analytic.access_time;
+  // Demand-job sojourn must match r̄ of eqs. (9)/(17).
+  EXPECT_NEAR(batch.demand_sojourn.mean / analytic.retrieval_time, 1.0, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AbstractSimValidation,
+    ::testing::Values(
+        ValidationCase{0.0, 0.7, 0.5, InteractionModel::kModelA},
+        ValidationCase{0.0, 0.9, 1.0, InteractionModel::kModelA},
+        ValidationCase{0.0, 0.3, 0.3, InteractionModel::kModelA},
+        ValidationCase{0.3, 0.5, 0.5, InteractionModel::kModelA},
+        ValidationCase{0.3, 0.8, 0.8, InteractionModel::kModelA},
+        ValidationCase{0.3, 0.5, 0.5, InteractionModel::kModelB},
+        ValidationCase{0.5, 0.7, 0.6, InteractionModel::kModelB}));
+
+TEST(AbstractSim, GainChangesSignAtThreshold) {
+  // The headline result, empirically: simulated gain is positive above
+  // p_th = 0.6 and negative below it (h' = 0 reference point).
+  for (double p : {0.3, 0.8}) {
+    auto cfg = base_config(0.0, p, 0.6, InteractionModel::kModelA);
+    const auto with = run_abstract_replications(cfg, 8);
+    auto base = cfg;
+    base.op.prefetch_rate = 0.0;
+    const auto without = run_abstract_replications(base, 8);
+    const double gain = without.access_time.mean - with.access_time.mean;
+    if (p > 0.6) {
+      EXPECT_GT(gain, 0.0) << "p=" << p;
+    } else {
+      EXPECT_LT(gain, 0.0) << "p=" << p;
+    }
+  }
+}
+
+TEST(AbstractSim, MeasuredRetrievalPerRequestMatchesEquationTwentyFive) {
+  auto cfg = base_config(0.0, 0.7, 0.5, InteractionModel::kModelA);
+  const auto analytic = core::analyze(cfg.params, cfg.op, cfg.model);
+  const auto batch = run_abstract_replications(cfg, 8);
+  const double r_expected = core::retrieval_time_per_request(
+      analytic.utilization, cfg.params.request_rate);
+  EXPECT_NEAR(batch.retrieval_per_request.mean / r_expected, 1.0, 0.08);
+}
+
+TEST(AbstractSim, ExcessCostMatchesEquationTwentySeven) {
+  ValidationOptions opt;
+  opt.replications = 8;
+  opt.duration = 1500.0;
+  const auto row =
+      validate_point(paper_params(0.0), OperatingPoint{0.5, 0.5},
+                     InteractionModel::kModelA, opt);
+  EXPECT_GT(row.sim_excess_cost, 0.0);
+  EXPECT_NEAR(row.sim_excess_cost / row.analytic_excess_cost, 1.0, 0.15);
+}
+
+TEST(AbstractSim, ServiceDistributionInsensitivity) {
+  // M/G/1-PS means depend on the size distribution only through its mean:
+  // deterministic and exponential item sizes must give the same t̄.
+  auto cfg = base_config(0.0, 0.7, 0.5, InteractionModel::kModelA);
+  cfg.size_dist = AbstractSimConfig::SizeDist::kExponential;
+  const auto exp_batch = run_abstract_replications(cfg, 8);
+  cfg.size_dist = AbstractSimConfig::SizeDist::kFixed;
+  const auto det_batch = run_abstract_replications(cfg, 8);
+  EXPECT_NEAR(exp_batch.access_time.mean / det_batch.access_time.mean, 1.0,
+              0.08);
+}
+
+TEST(AbstractSim, InflightWaitOnlyAddsDelay) {
+  // Accounting for still-in-flight prefetched items can only raise the
+  // measured access time relative to the paper's idealisation.
+  auto cfg = base_config(0.0, 0.7, 1.0, InteractionModel::kModelA);
+  const auto ideal = run_abstract_replications(cfg, 6);
+  cfg.inflight_wait = true;
+  const auto waity = run_abstract_replications(cfg, 6);
+  EXPECT_GE(waity.access_time.mean, ideal.access_time.mean * 0.98);
+}
+
+TEST(AbstractSim, DeterministicGivenSeed) {
+  auto cfg = base_config(0.3, 0.6, 0.4, InteractionModel::kModelA);
+  cfg.duration = 300.0;
+  const auto a = run_abstract_sim(cfg);
+  const auto b = run_abstract_sim(cfg);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.mean_access_time, b.mean_access_time);
+  EXPECT_DOUBLE_EQ(a.hit_ratio, b.hit_ratio);
+}
+
+TEST(AbstractSim, SeedChangesRealization) {
+  auto cfg = base_config(0.3, 0.6, 0.4, InteractionModel::kModelA);
+  cfg.duration = 300.0;
+  const auto a = run_abstract_sim(cfg);
+  cfg.seed ^= 0xDEADBEEF;
+  const auto b = run_abstract_sim(cfg);
+  EXPECT_NE(a.requests, b.requests);
+}
+
+TEST(AbstractSim, RejectsInconsistentOperatingPoint) {
+  // n̄(F)·p > f' violates eq. (6).
+  auto cfg = base_config(0.5, 0.9, 1.0, InteractionModel::kModelA);
+  EXPECT_THROW(run_abstract_sim(cfg), ContractViolation);
+}
+
+TEST(AbstractSim, ModelBLowersHitRatioVersusModelA) {
+  auto cfg_a = base_config(0.6, 0.8, 0.4, InteractionModel::kModelA);
+  cfg_a.params.cache_items = 10.0;  // make the victim value visible
+  auto cfg_b = cfg_a;
+  cfg_b.model = InteractionModel::kModelB;
+  const auto a = run_abstract_replications(cfg_a, 6);
+  const auto b = run_abstract_replications(cfg_b, 6);
+  // Model B loses n̄(F)·h'/n̄(C) = 0.4·0.06 = 0.024 of hit ratio.
+  EXPECT_NEAR(a.hit_ratio.mean - b.hit_ratio.mean, 0.024, 0.01);
+}
+
+}  // namespace
+}  // namespace specpf

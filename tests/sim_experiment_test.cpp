@@ -1,0 +1,82 @@
+// Replication harness and validation tooling.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/validation.hpp"
+#include "util/contract.hpp"
+
+namespace specpf {
+namespace {
+
+AbstractSimConfig quick_config() {
+  AbstractSimConfig cfg;
+  cfg.params.bandwidth = 50.0;
+  cfg.params.request_rate = 30.0;
+  cfg.params.mean_item_size = 1.0;
+  cfg.params.hit_ratio = 0.3;
+  cfg.op = {0.6, 0.5};
+  cfg.duration = 300.0;
+  cfg.warmup = 30.0;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Replications, AggregatesRequestedCount) {
+  const auto batch = run_abstract_replications(quick_config(), 5);
+  EXPECT_EQ(batch.replications, 5u);
+  EXPECT_EQ(batch.access_time.samples, 5u);
+  EXPECT_GT(batch.total_requests, 5u * 5000u);  // ~9000 requests per rep
+}
+
+TEST(Replications, ParallelAndSerialAgreeExactly) {
+  // Substream seeding makes the result independent of scheduling.
+  const auto parallel = run_abstract_replications(quick_config(), 6, true);
+  const auto serial = run_abstract_replications(quick_config(), 6, false);
+  EXPECT_DOUBLE_EQ(parallel.access_time.mean, serial.access_time.mean);
+  EXPECT_DOUBLE_EQ(parallel.hit_ratio.mean, serial.hit_ratio.mean);
+  EXPECT_DOUBLE_EQ(parallel.utilization.mean, serial.utilization.mean);
+}
+
+TEST(Replications, IntervalNarrowsWithMoreReplications) {
+  const auto few = run_abstract_replications(quick_config(), 4);
+  const auto many = run_abstract_replications(quick_config(), 16);
+  EXPECT_LT(many.access_time.half_width, few.access_time.half_width);
+}
+
+TEST(Replications, RejectsZeroReplications) {
+  EXPECT_THROW(run_abstract_replications(quick_config(), 0),
+               ContractViolation);
+}
+
+TEST(Validation, RowCarriesConsistentAnalytics) {
+  ValidationOptions opt;
+  opt.replications = 4;
+  opt.duration = 300.0;
+  opt.warmup = 30.0;
+  core::SystemParams params = quick_config().params;
+  const auto row = validate_point(params, {0.6, 0.5},
+                                  core::InteractionModel::kModelA, opt);
+  const auto direct =
+      core::analyze(params, {0.6, 0.5}, core::InteractionModel::kModelA);
+  EXPECT_DOUBLE_EQ(row.analytic_gain, direct.gain);
+  EXPECT_DOUBLE_EQ(row.analytic_access_time, direct.access_time);
+  EXPECT_DOUBLE_EQ(row.analytic_access_time_no_prefetch,
+                   direct.baseline.access_time);
+  // Relative errors are consistent with the stored values.
+  EXPECT_GT(row.sim_prefetch.access_time.mean, 0.0);
+  EXPECT_LT(row.err_access_time, 0.25);  // quick run: loose sanity bound
+}
+
+TEST(Validation, BaselineRunHasNoPrefetchTraffic) {
+  ValidationOptions opt;
+  opt.replications = 2;
+  opt.duration = 200.0;
+  opt.warmup = 20.0;
+  const auto row = validate_point(quick_config().params, {0.6, 0.5},
+                                  core::InteractionModel::kModelA, opt);
+  // Baseline hit ratio must sit at h' (no prefetched-hit class).
+  EXPECT_NEAR(row.sim_baseline.hit_ratio.mean, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace specpf

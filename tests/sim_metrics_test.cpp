@@ -1,0 +1,99 @@
+// SimMetrics: the client-side accounting for t̄, h, R and n̄(R).
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(SimMetrics, EmptyIsAllZero) {
+  SimMetrics m;
+  EXPECT_EQ(m.requests(), 0u);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_access_time(), 0.0);
+  EXPECT_DOUBLE_EQ(m.retrieval_time_per_request(), 0.0);
+  EXPECT_DOUBLE_EQ(m.retrievals_per_request(), 0.0);
+}
+
+TEST(SimMetrics, HitRatioCountsAllAccessKinds) {
+  SimMetrics m;
+  m.record_hit();                 // free hit
+  m.record_inflight_hit(0.25);    // hit with residual wait
+  m.record_miss(1.0);             // demand fetch
+  m.record_miss(3.0);
+  EXPECT_EQ(m.requests(), 4u);
+  EXPECT_EQ(m.hits(), 2u);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.5);
+}
+
+TEST(SimMetrics, AccessTimeAveragesHitsAtTheirWait) {
+  SimMetrics m;
+  m.record_hit();              // 0
+  m.record_inflight_hit(0.4);  // 0.4
+  m.record_miss(2.0);          // 2.0
+  EXPECT_DOUBLE_EQ(m.mean_access_time(), (0.0 + 0.4 + 2.0) / 3.0);
+}
+
+TEST(SimMetrics, RetrievalPerRequestSumsBothJobKinds) {
+  SimMetrics m;
+  m.record_miss(1.0);
+  m.record_demand_retrieval(1.0);
+  m.record_hit();
+  m.record_prefetch_retrieval(0.5);
+  m.record_prefetch_retrieval(0.5);
+  // R = (1.0 + 0.5 + 0.5) / 2 requests.
+  EXPECT_DOUBLE_EQ(m.retrieval_time_per_request(), 1.0);
+  // n̄(R) = 3 retrievals / 2 requests.
+  EXPECT_DOUBLE_EQ(m.retrievals_per_request(), 1.5);
+  EXPECT_EQ(m.demand_retrievals(), 1u);
+  EXPECT_EQ(m.prefetch_retrievals(), 2u);
+}
+
+TEST(SimMetrics, SeparatesSojournKinds) {
+  SimMetrics m;
+  m.record_demand_retrieval(2.0);
+  m.record_demand_retrieval(4.0);
+  m.record_prefetch_retrieval(10.0);
+  EXPECT_DOUBLE_EQ(m.mean_demand_sojourn(), 3.0);
+  EXPECT_DOUBLE_EQ(m.mean_prefetch_sojourn(), 10.0);
+}
+
+TEST(SimMetrics, InflightAccounting) {
+  SimMetrics m;
+  m.record_inflight_hit(0.2);
+  m.record_inflight_hit(0.4);
+  EXPECT_EQ(m.inflight_hits(), 2u);
+  EXPECT_NEAR(m.mean_inflight_wait(), 0.3, 1e-15);
+}
+
+TEST(SimMetrics, WastedPrefetchCounter) {
+  SimMetrics m;
+  m.record_wasted_prefetch();
+  m.record_wasted_prefetch();
+  EXPECT_EQ(m.wasted_prefetches(), 2u);
+}
+
+TEST(SimMetrics, ResetClearsEverything) {
+  SimMetrics m;
+  m.record_miss(1.0);
+  m.record_demand_retrieval(1.0);
+  m.record_inflight_hit(0.3);
+  m.record_wasted_prefetch();
+  m.reset();
+  EXPECT_EQ(m.requests(), 0u);
+  EXPECT_EQ(m.demand_retrievals(), 0u);
+  EXPECT_EQ(m.inflight_hits(), 0u);
+  EXPECT_EQ(m.wasted_prefetches(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean_access_time(), 0.0);
+}
+
+TEST(SimMetrics, AccessTimeStatsExposeDispersion) {
+  SimMetrics m;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) m.record_miss(t);
+  EXPECT_EQ(m.access_time_stats().count(), 4u);
+  EXPECT_DOUBLE_EQ(m.access_time_stats().mean(), 2.5);
+  EXPECT_GT(m.access_time_stats().std_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace specpf

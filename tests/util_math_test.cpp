@@ -1,0 +1,89 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace specpf {
+namespace {
+
+TEST(KahanSum, SumsExactlyRepresentableValues) {
+  KahanSum sum;
+  for (int i = 1; i <= 100; ++i) sum.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(sum.value(), 5050.0);
+}
+
+TEST(KahanSum, CompensatesSmallTermsAgainstLarge) {
+  // Naive summation loses the 1.0s entirely against 1e16.
+  KahanSum sum;
+  sum.add(1e16);
+  for (int i = 0; i < 1000; ++i) sum.add(1.0);
+  sum.add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.value(), 1000.0);
+}
+
+TEST(KahanSum, ResetClears) {
+  KahanSum sum;
+  sum.add(5.0);
+  sum.reset();
+  EXPECT_DOUBLE_EQ(sum.value(), 0.0);
+}
+
+TEST(KahanSum, OperatorPlusEquals) {
+  KahanSum sum;
+  sum += 1.5;
+  sum += 2.5;
+  EXPECT_DOUBLE_EQ(sum.value(), 4.0);
+}
+
+TEST(AlmostEqual, ExactEquality) { EXPECT_TRUE(almost_equal(1.0, 1.0)); }
+
+TEST(AlmostEqual, WithinRelativeTolerance) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.0 + 1e-6));
+  EXPECT_TRUE(almost_equal(1e10, 1e10 * (1 + 1e-10)));
+}
+
+TEST(AlmostEqual, NearZeroUsesAbsoluteTolerance) {
+  EXPECT_TRUE(almost_equal(0.0, 1e-13));
+  EXPECT_FALSE(almost_equal(0.0, 1e-3));
+}
+
+TEST(SafeDiv, NormalDivision) { EXPECT_DOUBLE_EQ(safe_div(10.0, 4.0), 2.5); }
+
+TEST(SafeDiv, ZeroDenominatorFallback) {
+  EXPECT_DOUBLE_EQ(safe_div(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_div(10.0, 0.0, -1.0), -1.0);
+}
+
+TEST(GeneralizedHarmonic, KnownValues) {
+  // H_{1,s} = 1 for any s.
+  EXPECT_DOUBLE_EQ(generalized_harmonic(1, 2.0), 1.0);
+  // H_{3,1} = 1 + 1/2 + 1/3.
+  EXPECT_NEAR(generalized_harmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  // H_{2,2} = 1 + 1/4.
+  EXPECT_NEAR(generalized_harmonic(2, 2.0), 1.25, 1e-12);
+}
+
+TEST(GeneralizedHarmonic, ConvergesTowardZeta) {
+  // H_{n,2} -> pi^2/6 as n grows.
+  EXPECT_NEAR(generalized_harmonic(100000, 2.0), M_PI * M_PI / 6.0, 1e-4);
+}
+
+TEST(GeneralizedHarmonic, MonotoneInN) {
+  EXPECT_LT(generalized_harmonic(10, 1.2), generalized_harmonic(20, 1.2));
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(0.9, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 1.0), 0.0);
+}
+
+TEST(RelativeError, FloorPreventsDivideByZero) {
+  EXPECT_LT(relative_error(0.0, 0.0), 1e-6);
+  EXPECT_GT(relative_error(1.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace specpf {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, CopyableSnapshotsState) {
+  Rng a(7);
+  for (int i = 0; i < 10; ++i) a.next_u64();
+  Rng snapshot = a;
+  std::vector<std::uint64_t> from_a, from_snapshot;
+  for (int i = 0; i < 50; ++i) from_a.push_back(a.next_u64());
+  for (int i = 0; i < 50; ++i) from_snapshot.push_back(snapshot.next_u64());
+  EXPECT_EQ(from_a, from_snapshot);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(3.0, 7.0);
+    ASSERT_GE(x, 3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(17);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowApproximatelyUniform) {
+  Rng rng(23);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(kBuckets)];
+  // Chi-square with 9 dof, 99.9% critical value ~27.9.
+  const double expected = static_cast<double>(kN) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  int successes = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++successes;
+  }
+  EXPECT_NEAR(static_cast<double>(successes) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, SubstreamsAreReproducible) {
+  Rng parent(31);
+  Rng s1 = parent.substream(5);
+  Rng s2 = Rng(31).substream(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, SubstreamsAreDecorrelated) {
+  Rng parent(37);
+  Rng s0 = parent.substream(0);
+  Rng s1 = parent.substream(1);
+  // Distinct outputs and low agreement across a window.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ManySubstreamsDistinctSeeds) {
+  Rng parent(41);
+  std::set<std::uint64_t> first_outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    first_outputs.insert(parent.substream(i).next_u64());
+  }
+  EXPECT_EQ(first_outputs.size(), 1000u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace specpf

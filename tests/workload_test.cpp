@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "workload/catalog.hpp"
+#include "workload/request_stream.hpp"
+#include "workload/session_graph.hpp"
+#include "workload/trace.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(Catalog, FixedSizesAllEqualMean) {
+  CatalogConfig cfg;
+  cfg.num_items = 100;
+  cfg.mean_size = 2.5;
+  Catalog catalog(cfg, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(catalog.item_size(i), 2.5);
+  }
+  EXPECT_DOUBLE_EQ(catalog.mean_size(), 2.5);
+  EXPECT_DOUBLE_EQ(catalog.popularity_weighted_mean_size(), 2.5);
+}
+
+TEST(Catalog, PopularityIsZipfNormalised) {
+  CatalogConfig cfg;
+  cfg.num_items = 50;
+  cfg.zipf_alpha = 0.8;
+  Catalog catalog(cfg, 1);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < 50; ++i) total += catalog.popularity(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(catalog.popularity(0), catalog.popularity(49));
+}
+
+TEST(Catalog, ExponentialSizesMatchMean) {
+  CatalogConfig cfg;
+  cfg.num_items = 20000;
+  cfg.size_model = CatalogConfig::SizeModel::kExponential;
+  cfg.mean_size = 3.0;
+  Catalog catalog(cfg, 7);
+  EXPECT_NEAR(catalog.mean_size(), 3.0, 0.1);
+}
+
+TEST(Catalog, BoundedParetoSizesMatchMean) {
+  CatalogConfig cfg;
+  cfg.num_items = 100000;
+  cfg.size_model = CatalogConfig::SizeModel::kBoundedPareto;
+  cfg.mean_size = 2.0;
+  cfg.pareto_shape = 1.3;
+  Catalog catalog(cfg, 11);
+  EXPECT_NEAR(catalog.mean_size() / 2.0, 1.0, 0.1);
+}
+
+TEST(Catalog, ItemsCoveringMass) {
+  CatalogConfig cfg;
+  cfg.num_items = 1000;
+  cfg.zipf_alpha = 1.0;
+  Catalog catalog(cfg, 1);
+  const std::size_t half = catalog.items_covering(0.5);
+  EXPECT_GT(half, 1u);
+  EXPECT_LT(half, 500u);  // Zipf: half the mass in far fewer than half items
+  EXPECT_EQ(catalog.items_covering(1.0), 1000u);
+}
+
+TEST(Catalog, SamplingFollowsPopularity) {
+  CatalogConfig cfg;
+  cfg.num_items = 20;
+  cfg.zipf_alpha = 1.0;
+  Catalog catalog(cfg, 3);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[catalog.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, catalog.popularity(0),
+              0.01);
+}
+
+TEST(IrmStream, PoissonInterarrivalsMatchRate) {
+  CatalogConfig cfg;
+  cfg.num_items = 10;
+  Catalog catalog(cfg, 1);
+  IrmStream stream(catalog, 4.0, Rng(9));
+  double prev = 0.0;
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const Request r = stream.next();
+    EXPECT_GT(r.time, prev);
+    sum += r.time - prev;
+    prev = r.time;
+    ASSERT_LT(r.item, 10u);
+  }
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(SessionGraph, LinkProbabilitiesSumToOne) {
+  SessionGraphConfig cfg;
+  cfg.num_pages = 50;
+  cfg.out_degree = 4;
+  SessionGraph graph(cfg, 13);
+  for (std::uint64_t page = 0; page < 50; ++page) {
+    double total = 0.0;
+    for (const auto& link : graph.links(page)) {
+      total += link.probability;
+      EXPECT_NE(link.target, page);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SessionGraph, NextDistributionScalesByContinuation) {
+  SessionGraphConfig cfg;
+  cfg.exit_probability = 0.25;
+  SessionGraph graph(cfg, 17);
+  double total = 0.0;
+  for (const auto& link : graph.next_distribution(0)) {
+    total += link.probability;
+  }
+  EXPECT_NEAR(total, 0.75, 1e-9);
+}
+
+TEST(SessionGraph, SessionLengthIsGeometric) {
+  SessionGraphConfig cfg;
+  cfg.exit_probability = 0.2;  // mean length 5
+  SessionGraph graph(cfg, 19);
+  Rng rng(21);
+  double total_length = 0.0;
+  constexpr int kSessions = 20000;
+  for (int i = 0; i < kSessions; ++i) {
+    total_length += static_cast<double>(graph.sample_session(rng).size());
+  }
+  EXPECT_NEAR(total_length / kSessions, 5.0, 0.15);
+}
+
+TEST(SessionGraph, SessionsFollowEdges) {
+  SessionGraphConfig cfg;
+  cfg.num_pages = 30;
+  SessionGraph graph(cfg, 23);
+  Rng rng(25);
+  for (int s = 0; s < 200; ++s) {
+    const auto session = graph.sample_session(rng);
+    for (std::size_t i = 1; i < session.size(); ++i) {
+      const auto& links = graph.links(session[i - 1]);
+      const bool is_neighbor =
+          std::any_of(links.begin(), links.end(), [&](const auto& l) {
+            return l.target == session[i];
+          });
+      ASSERT_TRUE(is_neighbor);
+    }
+  }
+}
+
+TEST(SessionGraph, PopularityEstimateNormalised) {
+  SessionGraphConfig cfg;
+  cfg.num_pages = 40;
+  SessionGraph graph(cfg, 27);
+  const auto pop = graph.estimate_popularity(1, 5000);
+  double total = 0.0;
+  for (double p : pop) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SessionStream, ProducesMonotoneTimesAndValidPages) {
+  SessionGraphConfig cfg;
+  cfg.num_pages = 25;
+  SessionGraph graph(cfg, 29);
+  SessionStream stream(graph, 0.5, 0.2, Rng(31));
+  double prev = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const Request r = stream.next();
+    ASSERT_GE(r.time, prev);
+    ASSERT_LT(r.item, 25u);
+    prev = r.time;
+  }
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace trace;
+  trace.append({0.5, 1, 100});
+  trace.append({1.25, 2, 200});
+  trace.append({2.0, 1, 100});
+  std::stringstream ss;
+  trace.save_csv(ss);
+  const Trace loaded = Trace::load_csv(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.records()[1].time, 1.25);
+  EXPECT_EQ(loaded.records()[1].user, 2u);
+  EXPECT_EQ(loaded.records()[2].item, 100u);
+}
+
+TEST(Trace, RejectsBadHeaderAndRecords) {
+  std::stringstream bad_header("nope\n");
+  EXPECT_THROW(Trace::load_csv(bad_header), std::runtime_error);
+  std::stringstream bad_record("time,user,item\n1.0;2;3\n");
+  EXPECT_THROW(Trace::load_csv(bad_record), std::runtime_error);
+}
+
+TEST(Trace, Statistics) {
+  Trace trace;
+  trace.append({0.0, 0, 5});
+  trace.append({1.0, 1, 5});
+  trace.append({4.0, 0, 7});
+  EXPECT_EQ(trace.unique_items(), 2u);
+  EXPECT_EQ(trace.unique_users(), 2u);
+  EXPECT_DOUBLE_EQ(trace.duration(), 4.0);
+  EXPECT_DOUBLE_EQ(trace.mean_request_rate(), 0.75);
+  const auto counts = trace.item_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].second, 2u);  // item 5 twice
+}
+
+TEST(Trace, SortByTime) {
+  Trace trace;
+  trace.append({3.0, 0, 1});
+  trace.append({1.0, 0, 2});
+  EXPECT_FALSE(trace.is_time_ordered());
+  trace.sort_by_time();
+  EXPECT_TRUE(trace.is_time_ordered());
+  EXPECT_EQ(trace.records()[0].item, 2u);
+}
+
+}  // namespace
+}  // namespace specpf
