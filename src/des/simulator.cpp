@@ -22,9 +22,10 @@ void Simulator::cancel(const EventId& id) {
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; move out via const_cast is UB-adjacent,
-    // so copy the small fields and move the action after pop via a local.
-    Entry entry = queue_.top();
+    // top() returns a const ref, but the underlying element is non-const;
+    // moving out of it is well-defined. pop() then sifts the moved-from
+    // Entry, which only reads time/seq — both untouched by the move.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
     if (*entry.cancelled) continue;  // tombstone
     now_ = entry.time;
