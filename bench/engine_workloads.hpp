@@ -1,0 +1,60 @@
+// Shared engine benchmark workloads, used by both the google-benchmark
+// harness (perf_engine.cpp) and the JSON trajectory recorder
+// (emit_bench_json.cpp) so the two always measure the same thing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/ps_server.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace specpf::benchwork {
+
+/// Schedules `events` empty actions at random times and drains the queue.
+inline std::uint64_t schedule_and_run(Rng& rng, std::size_t events) {
+  Simulator sim;
+  for (std::size_t i = 0; i < events; ++i) {
+    sim.schedule_at(rng.next_double() * 1000.0, [] {});
+  }
+  sim.run();
+  return sim.events_executed();
+}
+
+/// Schedules 10000 events, cancels every other one, then drains.
+inline std::uint64_t cancel_heavy(Rng& rng) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  ids.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(sim.schedule_at(rng.next_double() * 100.0, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+  sim.run();
+  return sim.events_executed();
+}
+
+/// Sustained M/M/1-PS at rho = 0.7 for 2000 simulated seconds; returns jobs
+/// completed.
+inline std::uint64_t ps_server_throughput() {
+  Simulator sim;
+  PsServer server(sim, 10.0);
+  Rng rng(3);
+  ExponentialDist interarrival(1.0 / 7.0);
+  ExponentialDist sizes(1.0);
+  std::function<void()> arrive = [&] {
+    server.submit(sizes.sample(rng), nullptr);
+    const double dt = interarrival.sample(rng);
+    if (sim.now() + dt < 2000.0) {
+      sim.schedule_in(dt, [&arrive] { arrive(); });
+    }
+  };
+  sim.schedule_in(interarrival.sample(rng), [&arrive] { arrive(); });
+  sim.run();
+  return server.stats().completed;
+}
+
+}  // namespace specpf::benchwork

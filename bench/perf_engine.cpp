@@ -1,10 +1,9 @@
 // Engine micro-benchmarks: event queue, PS server, RNG, distributions.
+// Workload bodies live in engine_workloads.hpp, shared with emit_bench_json
+// so the JSON trajectory and these numbers measure the same thing.
 #include <benchmark/benchmark.h>
 
-#include <functional>
-
-#include "des/simulator.hpp"
-#include "net/ps_server.hpp"
+#include "engine_workloads.hpp"
 #include "util/distributions.hpp"
 #include "util/rng.hpp"
 
@@ -16,12 +15,7 @@ void BM_EventQueue_ScheduleAndRun(benchmark::State& state) {
   const auto events = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
   for (auto _ : state) {
-    Simulator sim;
-    for (std::size_t i = 0; i < events; ++i) {
-      sim.schedule_at(rng.next_double() * 1000.0, [] {});
-    }
-    sim.run();
-    benchmark::DoNotOptimize(sim.events_executed());
+    benchmark::DoNotOptimize(benchwork::schedule_and_run(rng, events));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(events));
@@ -31,15 +25,7 @@ BENCHMARK(BM_EventQueue_ScheduleAndRun)->Arg(1024)->Arg(16384)->Arg(131072);
 void BM_EventQueue_CancelHeavy(benchmark::State& state) {
   Rng rng(2);
   for (auto _ : state) {
-    Simulator sim;
-    std::vector<EventId> ids;
-    ids.reserve(10000);
-    for (int i = 0; i < 10000; ++i) {
-      ids.push_back(sim.schedule_at(rng.next_double() * 100.0, [] {}));
-    }
-    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
-    sim.run();
-    benchmark::DoNotOptimize(sim.events_executed());
+    benchmark::DoNotOptimize(benchwork::cancel_heavy(rng));
   }
 }
 BENCHMARK(BM_EventQueue_CancelHeavy);
@@ -47,19 +33,7 @@ BENCHMARK(BM_EventQueue_CancelHeavy);
 void BM_PsServer_Throughput(benchmark::State& state) {
   // Sustained M/M/1-PS at rho = 0.7: jobs processed per second of CPU.
   for (auto _ : state) {
-    Simulator sim;
-    PsServer server(sim, 10.0);
-    Rng rng(3);
-    ExponentialDist interarrival(1.0 / 7.0);
-    ExponentialDist sizes(1.0);
-    std::function<void()> arrive = [&] {
-      server.submit(sizes.sample(rng), nullptr);
-      const double dt = interarrival.sample(rng);
-      if (sim.now() + dt < 2000.0) sim.schedule_in(dt, arrive);
-    };
-    sim.schedule_in(interarrival.sample(rng), arrive);
-    sim.run();
-    benchmark::DoNotOptimize(server.stats().completed);
+    benchmark::DoNotOptimize(benchwork::ps_server_throughput());
   }
 }
 BENCHMARK(BM_PsServer_Throughput);

@@ -36,9 +36,11 @@ double run_server(bool ps, const Distribution& sizes, double lambda,
   std::function<void()> arrive = [&] {
     server->submit(sizes.sample(rng), nullptr);
     const double dt = interarrival.sample(rng);
-    if (sim.now() + dt < horizon) sim.schedule_in(dt, arrive);
+    if (sim.now() + dt < horizon) {
+      sim.schedule_in(dt, [&arrive] { arrive(); });
+    }
   };
-  sim.schedule_in(interarrival.sample(rng), arrive);
+  sim.schedule_in(interarrival.sample(rng), [&arrive] { arrive(); });
   sim.schedule_at(horizon / 10.0, [&] { server->reset_stats(); });
   sim.run_until(horizon);
   return server->stats().mean_sojourn;

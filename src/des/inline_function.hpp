@@ -1,0 +1,107 @@
+// Small-buffer-optimized, move-only callable — the zero-allocation
+// replacement for std::function in the event engine's hot path.
+//
+// The callable is stored inline, never on the heap: a capture that does not
+// fit in Capacity is a compile error (static_assert), not a silent
+// allocation. This keeps scheduling an event allocation-free and makes the
+// engine's slab nodes fixed-size. Unlike std::function it is move-only, so
+// move-only captures (unique_ptr, etc.) work too.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace specpf {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(runtime/explicit)
+    static_assert(sizeof(D) <= Capacity,
+                  "capture too large for InlineFunction — shrink the capture "
+                  "or raise Capacity");
+    static_assert(alignof(D) <= alignof(void*),
+                  "captures needing more than pointer alignment are not "
+                  "supported (the buffer is kept pointer-aligned so the "
+                  "whole object stays at Capacity + one pointer)");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captures must be nothrow-movable: relocation happens "
+                  "inside noexcept moves");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+    ops_ = &OpsFor<D>::table;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the stored callable (no-op if empty).
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the stored callable. Precondition: non-empty.
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* obj, Args&&... args);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* obj) noexcept;
+  };
+
+  template <typename D>
+  struct OpsFor {
+    static R invoke(void* obj, Args&&... args) {
+      return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      D* from = static_cast<D*>(src);
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+    static void destroy(void* obj) noexcept { static_cast<D*>(obj)->~D(); }
+    static constexpr Ops table{&invoke, &relocate, &destroy};
+  };
+
+  void steal(InlineFunction& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(alignof(void*)) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace specpf

@@ -1,14 +1,189 @@
 #include "des/simulator.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/contract.hpp"
 
 namespace specpf {
 
+namespace {
+constexpr std::size_t kHeapArity = 4;
+// Compaction is pointless (and would thrash) on tiny heaps.
+constexpr std::size_t kCompactionMinHeap = 64;
+// Minimum bulk-load batch worth sorting into the O(1)-pop second tier.
+constexpr std::size_t kSortedRunMin = 1024;
+}  // namespace
+
+Simulator::~Simulator() {
+  for (std::size_t slot = 0; slot < slab_size_; ++slot) {
+    node_at(static_cast<std::uint32_t>(slot)).~Node();
+  }
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != EventId::kInvalid) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = node_at(slot).next_free;
+    return slot;
+  }
+  SPECPF_ASSERT(slab_size_ < kMaxSlots);
+  if (slab_size_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(ChunkPtr(static_cast<std::byte*>(::operator new[](
+        kChunkSize * sizeof(Node), std::align_val_t{kCacheLineBytes}))));
+    dead_bits_.resize(chunks_.size() * kChunkSize / 64, 0);
+  }
+  const auto slot = static_cast<std::uint32_t>(slab_size_++);
+  ::new (&node_at(slot)) Node();
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Node& node = node_at(slot);
+  ++node.generation;  // stale handles (ABA) now mismatch
+  node.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// Physical indexing (see kHeapBase): children of i are 4i-8 .. 4i-5, parent
+// of j is (j+8)/4, so every child group starts on a 64-byte boundary.
+void Simulator::sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  std::size_t hole = pos;
+  while (hole > kHeapBase) {
+    const std::size_t parent = (hole + 8) / kHeapArity;
+    if (!entry.before(heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = entry;
+}
+
+void Simulator::sift_down(std::size_t hole, HeapEntry value) {
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = kHeapArity * hole - 8;
+    if (first_child >= size) break;
+    // Pull the next level's candidate range (the grandchildren, 16 entries =
+    // 4 aligned cache lines) into cache while this level's comparisons run;
+    // deep sifts are memory-latency-bound, not comparison-bound.
+    const std::size_t grandchild = kHeapArity * first_child - 8;
+    if (grandchild < size) {
+      const char* base = reinterpret_cast<const char*>(&heap_[grandchild]);
+      __builtin_prefetch(base);
+      __builtin_prefetch(base + 64);
+      __builtin_prefetch(base + 128);
+      __builtin_prefetch(base + 192);
+    }
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + kHeapArity, size);
+    for (std::size_t child = first_child + 1; child < end; ++child) {
+      if (heap_[child].before(heap_[best])) best = child;
+    }
+    if (!heap_[best].before(value)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = value;
+}
+
+void Simulator::heap_remove_top() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  heapified_ = heap_.size();  // only called with no batch pending
+  if (heap_.size() > kHeapBase) sift_down(kHeapBase, last);
+}
+
+void Simulator::floyd_heapify() {
+  const std::size_t size = heap_.size();
+  for (std::size_t i = (size + 7) / kHeapArity + 1; i-- > kHeapBase;) {
+    sift_down(i, heap_[i]);
+  }
+  heapified_ = size;
+}
+
+void Simulator::flush_batch() {
+  const std::size_t size = heap_.size();
+  if (heapified_ == size) return;
+  const std::size_t batch = size - heapified_;
+  // Bulk load with nothing else pending: sort once, pop O(1) thereafter.
+  if (batch >= kSortedRunMin && heapified_ == kHeapBase &&
+      sorted_run_.empty()) {
+    sorted_run_.assign(heap_.begin() + kHeapBase, heap_.end());
+    std::sort(sorted_run_.begin(), sorted_run_.end(),
+              [](const HeapEntry& a, const HeapEntry& b) {
+                return b.before(a);  // descending; min at the back
+              });
+    heap_.resize(kHeapBase);
+    return;
+  }
+  // Bulk-rebuild when the batch rivals the ordered part; otherwise insert
+  // the stragglers individually.
+  if (batch > (heapified_ - kHeapBase) / 2) {
+    floyd_heapify();
+  } else {
+    while (heapified_ < size) sift_up(heapified_++);
+  }
+}
+
+void Simulator::compact() {
+  std::size_t out = kHeapBase;
+  for (std::size_t i = kHeapBase; i < heap_.size(); ++i) {
+    const HeapEntry entry = heap_[i];
+    if (!is_dead(entry.slot())) {
+      heap_[out++] = entry;
+    } else {
+      clear_dead(entry.slot());
+      release_slot(entry.slot());
+    }
+  }
+  heap_.resize(out);
+  // Filtering the sorted run preserves its descending order.
+  std::size_t run_out = 0;
+  for (std::size_t i = 0; i < sorted_run_.size(); ++i) {
+    const HeapEntry entry = sorted_run_[i];
+    if (!is_dead(entry.slot())) {
+      sorted_run_[run_out++] = entry;
+    } else {
+      clear_dead(entry.slot());
+      release_slot(entry.slot());
+    }
+  }
+  sorted_run_.resize(run_out);
+  dead_in_heap_ = 0;
+  floyd_heapify();  // also absorbs any pending appended batch
+}
+
+// Reassigns pending seqs 0..n-1 preserving relative order. A monotone remap
+// leaves every heap comparison's outcome unchanged, so the heap structure
+// itself needs no rebuild. Runs once per ~1.1e12 scheduled events.
+void Simulator::renumber_seqs() {
+  std::vector<HeapEntry*> order;
+  order.reserve(pending());
+  for (std::size_t i = kHeapBase; i < heap_.size(); ++i) {
+    order.push_back(&heap_[i]);
+  }
+  for (HeapEntry& entry : sorted_run_) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const HeapEntry* a, const HeapEntry* b) {
+              return a->tie < b->tie;
+            });
+  std::uint64_t seq = 0;
+  for (HeapEntry* entry : order) {
+    entry->tie = (seq++ << kSlotBits) | entry->slot();
+  }
+  next_seq_ = seq;
+}
+
 EventId Simulator::schedule_at(double when, Action action) {
   SPECPF_EXPECTS(when >= now_);
-  auto token = std::make_shared<bool>(false);
-  queue_.push(Entry{when, next_seq_++, std::move(action), token});
-  return EventId(std::move(token));
+  SPECPF_EXPECTS(static_cast<bool>(action));
+  if (next_seq_ == kMaxSeq) renumber_seqs();
+  const std::uint32_t slot = acquire_slot();
+  Node& node = node_at(slot);
+  node.action = std::move(action);
+  heap_.push_back(HeapEntry{when, (next_seq_++ << kSlotBits) | slot});
+  return EventId(slot, node.generation, this);
 }
 
 EventId Simulator::schedule_in(double delay, Action action) {
@@ -17,35 +192,66 @@ EventId Simulator::schedule_in(double delay, Action action) {
 }
 
 void Simulator::cancel(const EventId& id) {
-  if (id.token_) *id.token_ = true;
+  if (id.slot_ >= slab_size_) return;
+  SPECPF_ASSERT(id.owner_ == this && "EventId belongs to another Simulator");
+  Node& node = node_at(id.slot_);
+  if (!node.action || node.generation != id.generation_) return;
+  node.action.reset();  // frees captured resources eagerly
+  mark_dead(id.slot_);
+  ++dead_in_heap_;
+  if (2 * dead_in_heap_ >= pending() && pending() >= kCompactionMinHeap) {
+    compact();
+  }
+}
+
+bool Simulator::run_next(double limit) {
+  flush_batch();
+  for (;;) {
+    const bool have_heap = heap_.size() > kHeapBase;
+    const bool have_run = !sorted_run_.empty();
+    if (!have_heap && !have_run) return false;
+    const bool from_run =
+        have_run &&
+        (!have_heap || sorted_run_.back().before(heap_[kHeapBase]));
+    const HeapEntry top = from_run ? sorted_run_.back() : heap_[kHeapBase];
+    const std::uint32_t slot = top.slot();
+    if (is_dead(slot)) {  // tombstone — collect and keep looking
+      if (from_run) {
+        sorted_run_.pop_back();
+      } else {
+        heap_remove_top();
+      }
+      --dead_in_heap_;
+      clear_dead(slot);
+      release_slot(slot);
+      continue;
+    }
+    if (top.time > limit) return false;
+    Node& node = node_at(slot);
+    // Start fetching the node's cache line now; the pop below overlaps the
+    // miss so the action is already local when it is moved out.
+    __builtin_prefetch(&node, /*rw=*/1);
+    if (from_run) {
+      sorted_run_.pop_back();
+    } else {
+      heap_remove_top();
+    }
+    Action action = std::move(node.action);
+    release_slot(slot);  // slot reusable by whatever `action` schedules
+    now_ = top.time;
+    ++executed_;
+    action();
+    return true;
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // top() returns a const ref, but the underlying element is non-const;
-    // moving out of it is well-defined. pop() then sifts the moved-from
-    // Entry, which only reads time/seq — both untouched by the move.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (*entry.cancelled) continue;  // tombstone
-    now_ = entry.time;
-    ++executed_;
-    entry.action();
-    return true;
-  }
-  return false;
+  return run_next(std::numeric_limits<double>::infinity());
 }
 
 void Simulator::run_until(double end_time) {
   SPECPF_EXPECTS(end_time >= now_);
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (top.time > end_time) break;
-    step();
+  while (run_next(end_time)) {
   }
   now_ = end_time;
 }

@@ -1,35 +1,64 @@
-// Deterministic discrete-event simulation core.
+// Deterministic discrete-event simulation core — zero-allocation engine.
 //
 // Events are closures ordered by (time, insertion sequence); the sequence
 // tie-break makes runs bit-reproducible regardless of how many events share a
-// timestamp. Cancellation is O(1) via tombstones — cancelled events stay in
-// the heap and are skipped on pop (lazy deletion), which keeps the hot path
-// a plain binary-heap push/pop.
+// timestamp.
+//
+// Engine layout:
+//   * Actions are InlineFunction — small-buffer-optimized closures stored
+//     inline in the event node; scheduling never heap-allocates.
+//   * Event nodes live in a slab (std::vector) and are addressed by
+//     {slot, generation} EventId handles. Slots are recycled through a free
+//     list; the generation counter makes stale handles (ABA) harmless.
+//   * The ready queue is an indexed 4-ary min-heap of {time, seq, slot}
+//     entries — shallower than a binary heap and comparisons never touch the
+//     slab, so sifts stay in a few cache lines.
+//   * Cancellation is O(1): the node is disarmed (tombstoned) and its action
+//     destroyed in place; the heap entry is lazily skipped on pop. When dead
+//     entries exceed half the heap, the heap is compacted and re-heapified
+//     in one O(n) pass so cancel-heavy workloads don't drag a tail of
+//     tombstones through every sift.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
 #include <vector>
+
+#include "des/inline_function.hpp"
+#include "util/cache_aligned.hpp"
 
 namespace specpf {
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Trivially copyable;
+/// outliving the event is safe (generation-checked).
 class EventId {
  public:
   EventId() = default;
-  bool valid() const { return token_ != nullptr; }
+  bool valid() const { return slot_ != kInvalid; }
 
  private:
   friend class Simulator;
-  explicit EventId(std::shared_ptr<bool> token) : token_(std::move(token)) {}
-  std::shared_ptr<bool> token_;  // *token_ == true => cancelled
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  EventId(std::uint32_t slot, std::uint32_t generation, const void* owner)
+      : slot_(slot), generation_(generation), owner_(owner) {}
+  std::uint32_t slot_ = kInvalid;
+  std::uint32_t generation_ = 0;
+  // Slot/generation handles are only meaningful within their own engine;
+  // cancel() rejects cross-instance handles instead of silently tombstoning
+  // an unrelated event with a coincident {slot, generation}.
+  const void* owner_ = nullptr;
 };
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFunction<void(), 48>;
+
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time (seconds).
   double now() const noexcept { return now_; }
@@ -58,23 +87,114 @@ class Simulator {
   std::uint64_t events_executed() const noexcept { return executed_; }
 
   /// Events currently pending (including not-yet-collected tombstones).
-  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t pending() const noexcept {
+    return heap_.size() - kHeapBase + sorted_run_.size();
+  }
 
  private:
-  struct Entry {
-    double time;
-    std::uint64_t seq;
+  // One cache line per node: the inline action plus slot bookkeeping. A node
+  // is "armed" exactly when its action is non-empty (schedule_at rejects
+  // empty actions), so no separate flag is needed.
+  struct alignas(kCacheLineBytes) Node {
     Action action;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = EventId::kInvalid;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  static_assert(sizeof(Node) == kCacheLineBytes,
+                "a slab node must stay exactly one cache line: the pop path "
+                "prefetches a single line and release_slot touches the tail "
+                "fields");
+  // Heap entries carry the full ordering key so comparisons never touch the
+  // slab: `tie` packs (seq << kSlotBits) | slot. Seq dominates the compare;
+  // the slot bits only ever break a tie between entries with equal seq,
+  // which cannot happen.
+  struct HeapEntry {
+    double time;
+    std::uint64_t tie;
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(tie & (kMaxSlots - 1));
+    }
+    bool before(const HeapEntry& other) const {
+      if (time != other.time) return time < other.time;
+      return tie < other.tie;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  static constexpr std::size_t kSlotBits = 24;
+  static constexpr std::uint64_t kMaxSlots = 1ull << kSlotBits;  // concurrent
+  static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
+  static constexpr std::size_t kChunkShift = 12;  // 4096 nodes per slab chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  // The heap root lives at physical index 3 so that every 4-entry child
+  // group (children of i are at 4i-8 .. 4i-5; parent of j is (j+8)/4) starts
+  // on a 64-byte boundary: one cache line per sift level instead of two.
+  static constexpr std::size_t kHeapBase = 3;
+
+  Node& node_at(std::uint32_t slot) {
+    return *(reinterpret_cast<Node*>(chunks_[slot >> kChunkShift].get()) +
+             (slot & (kChunkSize - 1)));
+  }
+  // Tombstone bits live in a tiny slot-indexed bitset (2 KiB per 131k slots,
+  // L1-resident) so the pop loop can classify the top entry without touching
+  // the slab; the node's cache line is then fetched in parallel with the
+  // heap sift. Invariant: bit set <=> cancelled event awaiting collection.
+  bool is_dead(std::uint32_t slot) const {
+    return (dead_bits_[slot >> 6] >> (slot & 63)) & 1u;
+  }
+  void mark_dead(std::uint32_t slot) {
+    dead_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  }
+  void clear_dead(std::uint32_t slot) {
+    dead_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::size_t pos);
+  void heap_remove_top();
+  void sift_down(std::size_t hole, HeapEntry value);
+  void floyd_heapify();
+  /// Restores the heap invariant over entries appended since the last pop.
+  /// schedule_at only appends; ordering is established here, in bulk when
+  /// the batch is large (Floyd heapify is O(n) and streams sequentially,
+  /// far cheaper than n individual sift-ups on a cold heap).
+  void flush_batch();
+  void compact();
+  void renumber_seqs();
+  /// Executes the earliest runnable event with time <= limit. Returns false
+  /// if the heap drains or only later events remain.
+  bool run_next(double limit);
+
+  struct ChunkDeleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kCacheLineBytes});
+    }
+  };
+  using ChunkPtr = std::unique_ptr<std::byte[], ChunkDeleter>;
+
+  // Slab chunks have stable addresses: growing the slab never moves nodes,
+  // so no per-node relocation cost and references stay valid across
+  // schedule calls. Chunks are raw storage; a Node is placement-constructed
+  // the first time its slot is handed out (so allocating a chunk costs no
+  // construction sweep) and destroyed in ~Simulator.
+  std::vector<ChunkPtr> chunks_;
+  std::size_t slab_size_ = 0;
+  std::vector<std::uint64_t> dead_bits_;
+  // Physical layout: [0, kHeapBase) are never-read dummies; the root is at
+  // kHeapBase. 64-byte-aligned storage keeps child groups line-aligned.
+  std::vector<HeapEntry, CacheAlignedAllocator<HeapEntry>> heap_ =
+      std::vector<HeapEntry, CacheAlignedAllocator<HeapEntry>>(kHeapBase);
+  // Entries [kHeapBase, heapified_) satisfy the heap invariant; entries
+  // beyond are an unordered appended batch awaiting flush_batch().
+  std::size_t heapified_ = kHeapBase;
+  // Second tier: when a large batch is scheduled while nothing else is
+  // pending (bulk loads: trace replay, pre-seeded scenarios), the batch is
+  // sorted descending once and popped O(1) from the back instead of paying
+  // a full-depth sift per pop. The earliest event is always the smaller of
+  // sorted_run_.back() and the heap top, so ordering semantics are
+  // identical; events scheduled afterwards go through the heap.
+  std::vector<HeapEntry, CacheAlignedAllocator<HeapEntry>> sorted_run_;
+  std::uint32_t free_head_ = EventId::kInvalid;
+  std::size_t dead_in_heap_ = 0;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -21,6 +21,8 @@ class FifoServer final : public Server {
   }
 
  private:
+  // Callbacks are inline (move-only InlineFunction), so queued jobs move
+  // through the deque without per-job heap traffic.
   struct Job {
     std::uint64_t id;
     double size;

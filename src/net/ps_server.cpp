@@ -27,8 +27,9 @@ std::uint64_t PsServer::submit(double size, Callback on_complete) {
 }
 
 void PsServer::schedule_next_completion() {
+  // Generation-checked handles make cancel O(1) and idempotent; no need to
+  // clear the handle before rescheduling.
   sim_.cancel(completion_event_);
-  completion_event_ = EventId();
   if (jobs_.empty()) return;
   const double finish_v = jobs_.begin()->first;
   const double remaining_v = finish_v - virtual_time_;

@@ -44,7 +44,9 @@ class PsServer final : public Server {
 
   // Jobs keyed by finish virtual time; multimap tolerates exact ties (two
   // equal-size jobs arriving at the same instant), preserving FIFO order
-  // among them by insertion.
+  // among them by insertion. Completion callbacks are stored inline in the
+  // Job (Server::Callback is an InlineFunction), so the only per-job
+  // allocation left is the map node itself.
   std::multimap<double, Job> jobs_;
   double virtual_time_ = 0.0;
   double last_sync_ = 0.0;

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
+#include "des/inline_function.hpp"
 #include "des/simulator.hpp"
 #include "stats/running_stats.hpp"
 #include "stats/time_weighted.hpp"
@@ -39,7 +39,8 @@ struct ServerStats {
 
 class Server {
  public:
-  using Callback = std::function<void(const TransferResult&)>;
+  // Inline (non-allocating) completion callback; captures up to 48 bytes.
+  using Callback = InlineFunction<void(const TransferResult&), 48>;
 
   explicit Server(Simulator& sim, double bandwidth);
   virtual ~Server() = default;

@@ -102,15 +102,21 @@ AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
   if (config.prefetch_dispatch ==
           AbstractSimConfig::PrefetchDispatch::kIndependentPoisson &&
       prefetch_rate > 0.0) {
+    // Self-reschedule by reference: copying the std::function into the
+    // engine would heap-allocate per arrival; the closure outlives the run.
     prefetch_arrival = [&] {
       submit_prefetch(size_dist->sample(prefetch_rng));
       const double dt =
           -std::log1p(-prefetch_rng.next_double()) / prefetch_rate;
-      if (sim.now() + dt <= end_time) sim.schedule_in(dt, prefetch_arrival);
+      if (sim.now() + dt <= end_time) {
+        sim.schedule_in(dt, [&prefetch_arrival] { prefetch_arrival(); });
+      }
     };
     const double first =
         -std::log1p(-prefetch_rng.next_double()) / prefetch_rate;
-    if (first <= end_time) sim.schedule_in(first, prefetch_arrival);
+    if (first <= end_time) {
+      sim.schedule_in(first, [&prefetch_arrival] { prefetch_arrival(); });
+    }
   }
 
   std::function<void()> arrival = [&] {
@@ -158,11 +164,11 @@ AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
     // --- next arrival ---
     const double dt = interarrival.sample(rng);
     if (sim.now() + dt <= end_time) {
-      sim.schedule_in(dt, arrival);
+      sim.schedule_in(dt, [&arrival] { arrival(); });
     }
   };
 
-  sim.schedule_in(interarrival.sample(rng), arrival);
+  sim.schedule_in(interarrival.sample(rng), [&arrival] { arrival(); });
   if (config.warmup > 0.0) {
     sim.schedule_at(config.warmup, [&] {
       measuring = true;

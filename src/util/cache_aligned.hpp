@@ -1,0 +1,35 @@
+// Allocator that hands out cache-line-aligned storage. Used by containers
+// whose access pattern is engineered around 64-byte groups (e.g. the DES
+// engine's 4-ary heap, which lays one child group per cache line).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace specpf {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace specpf

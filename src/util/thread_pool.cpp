@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 
 namespace specpf {
 
@@ -39,19 +41,39 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool.submit([i, &fn] { fn(i); }));
-  }
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (i < error_index) {
+          error_index = i;
+          first_error = std::current_exception();
+        }
+      }
     }
+  };
+
+  // One chunk task per worker; the calling thread drains too, so a
+  // top-level call makes progress even when every worker is busy. Nested
+  // parallel_for on the same pool is NOT supported: inner calls block in
+  // f.get() on helpers that may never be scheduled.
+  const std::size_t helpers = std::min(pool.thread_count(), count) - 1;
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t w = 0; w < helpers; ++w) {
+    futures.push_back(pool.submit(drain));
   }
+  drain();
+  for (auto& f : futures) f.get();
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -51,7 +51,10 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, count) on a shared pool and waits for completion.
-/// Exceptions from any invocation are rethrown (first one wins).
+/// Work is chunked: one task per worker pulling indices from a shared atomic
+/// counter (the caller participates too), so submitting N iterations costs
+/// O(workers) queue operations instead of O(N). Every iteration runs even if
+/// some throw; the exception from the lowest-index failure is rethrown.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
