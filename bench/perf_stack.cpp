@@ -1,0 +1,294 @@
+// Stack perf-trajectory recorder: isolates the request data plane — the
+// in-flight transfer map, the predictor tables, and the full proxy/replay
+// stacks — with a plain chrono harness (no google-benchmark dependency) and
+// writes BENCH_stack.json alongside BENCH_engine.json, so the perf history
+// covers the stack and not just the engine.
+//
+// The "tree" numbers run the same code with the legacy std::map in-flight
+// backend (StackRuntimeConfig::use_tree_inflight), the exact baseline the
+// flat-hash data plane replaced.
+//
+// Usage: perf_stack [output.json]   (default: BENCH_stack.json)
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "policy/policies.hpp"
+#include "predict/markov.hpp"
+#include "predict/ppm.hpp"
+#include "sim/proxy_sim.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace {
+
+using namespace specpf;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs `body` repeatedly until ~0.5s elapses; returns best seconds/call.
+double best_time(const std::function<void()>& body) {
+  double best = 1e30;
+  double total = 0.0;
+  int calls = 0;
+  while (total < 0.5 || calls < 3) {
+    const auto t0 = Clock::now();
+    body();
+    const double dt = seconds_since(t0);
+    if (dt < best) best = dt;
+    total += dt;
+    ++calls;
+  }
+  return best;
+}
+
+struct Metric {
+  std::string name;
+  double value;
+  std::string unit;
+};
+
+// Mirrors StackRuntime::Inflight: a tag plus a usually-empty waiter list.
+struct InflightPayload {
+  bool is_prefetch = false;
+  std::vector<double> waiter_times;
+};
+
+/// The in-flight access pattern of the stack, replayed against a map type:
+/// submit (insert), a few lookups while the transfer is live, completion
+/// (erase), over a rolling live set — the shape handle_request produces.
+constexpr std::size_t kChurnOps = 400000;
+constexpr std::size_t kChurnLive = 4096;
+
+template <typename MapLike, typename FindFn, typename EraseFn>
+std::uint64_t churn(MapLike& map, const FindFn& find_live,
+                    const EraseFn& erase_key) {
+  Rng rng(42);
+  std::vector<std::uint64_t> live(kChurnLive, 0);
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < kChurnOps; ++i) {
+    const std::uint64_t user = rng.next_u64() % 64;
+    const std::uint64_t item = rng.next_u64() % 100000;
+    const std::uint64_t key = (user << 32) | item;
+    const std::size_t slot = i % kChurnLive;
+    if (live[slot] != 0) {
+      checksum += erase_key(map, live[slot]) ? 1 : 0;
+    }
+    map[key].is_prefetch = (i & 1) != 0;
+    live[slot] = key;
+    for (int probe = 0; probe < 3; ++probe) {
+      const std::uint64_t probe_key = live[rng.next_u64() % kChurnLive];
+      if (probe_key != 0 && find_live(map, probe_key)) ++checksum;
+    }
+  }
+  return checksum;
+}
+
+double bench_churn_flat(std::uint64_t* checksum) {
+  return best_time([&] {
+    FlatHashMap<InflightPayload> map;
+    *checksum = churn(
+        map,
+        [](FlatHashMap<InflightPayload>& m, std::uint64_t k) {
+          return m.find(k) != nullptr;
+        },
+        [](FlatHashMap<InflightPayload>& m, std::uint64_t k) {
+          return m.erase(k);
+        });
+  });
+}
+
+double bench_churn_tree(std::uint64_t* checksum) {
+  return best_time([&] {
+    std::map<std::uint64_t, InflightPayload> map;
+    *checksum = churn(
+        map,
+        [](std::map<std::uint64_t, InflightPayload>& m, std::uint64_t k) {
+          return m.find(k) != m.end();
+        },
+        [](std::map<std::uint64_t, InflightPayload>& m, std::uint64_t k) {
+          return m.erase(k) > 0;
+        });
+  });
+}
+
+/// Feeds a session-structured stream through a predictor with one
+/// observe + predict(8) per event — the stack's per-request predictor cost.
+template <typename P>
+double bench_predictor(std::size_t events) {
+  SessionGraphConfig gcfg;
+  gcfg.num_pages = 400;
+  gcfg.out_degree = 3;
+  SessionGraph graph(gcfg, 7);
+  std::vector<std::pair<UserId, std::uint64_t>> stream;
+  stream.reserve(events);
+  Rng rng(9);
+  // Interleaved per-user session walks, so each user's sequence is a real
+  // first-order chain (what the predictors' tables see in the stack).
+  constexpr std::size_t kUsers = 256;
+  std::vector<std::uint64_t> page(kUsers);
+  for (std::size_t u = 0; u < kUsers; ++u) page[u] = graph.sample_entry(rng);
+  for (std::size_t i = 0; i < events; ++i) {
+    const std::size_t u = rng.next_u64() % kUsers;
+    stream.emplace_back(static_cast<UserId>(u), page[u]);
+    if (!graph.sample_next(page[u], rng, &page[u])) {
+      page[u] = graph.sample_entry(rng);
+    }
+  }
+  return best_time([&] {
+    P predictor;
+    std::size_t sink = 0;
+    for (const auto& [user, item] : stream) {
+      predictor.observe(user, item);
+      sink += predictor.predict(user, 8).size();
+    }
+    if (sink == 0) std::fprintf(stderr, "predictor produced nothing\n");
+  });
+}
+
+double bench_proxy_sim(bool use_tree, std::uint64_t* requests_out) {
+  ProxySimConfig config;
+  config.num_users = 8;
+  config.duration = 300.0;
+  config.warmup = 30.0;
+  config.seed = 11;
+  config.predictor_kind = ProxySimConfig::PredictorKind::kMarkov;
+  config.use_tree_inflight = use_tree;
+  std::uint64_t requests = 0;
+  const double secs = best_time([&] {
+    ThresholdPolicy policy(core::InteractionModel::kModelA);
+    const auto result = run_proxy_sim(config, policy);
+    requests = result.requests;
+  });
+  *requests_out = requests;
+  return secs;
+}
+
+double bench_trace_replay(bool use_tree, std::uint64_t* requests_out) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 50000;
+  trace_cfg.num_requests = 200000;
+  trace_cfg.request_rate = 1000.0;
+  trace_cfg.graph.num_pages = 400;
+  trace_cfg.graph.out_degree = 3;
+  trace_cfg.graph.exit_probability = 0.25;
+  trace_cfg.seed = 5;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  TraceReplayConfig replay_cfg;
+  replay_cfg.bandwidth = 1200.0;
+  replay_cfg.cache_capacity = 8;
+  replay_cfg.max_prefetch_per_request = 4;
+  replay_cfg.use_tree_inflight = use_tree;
+  std::uint64_t requests = 0;
+  const double secs = best_time([&] {
+    ThresholdPolicy policy(core::InteractionModel::kModelA);
+    const auto result = run_trace_replay(trace, replay_cfg, policy);
+    requests = result.requests;
+  });
+  *requests_out = requests;
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_stack.json";
+  std::vector<Metric> metrics;
+
+  std::uint64_t flat_checksum = 0, tree_checksum = 0;
+  const double flat_churn_secs = bench_churn_flat(&flat_checksum);
+  const double tree_churn_secs = bench_churn_tree(&tree_checksum);
+  if (flat_checksum != tree_checksum) {
+    std::fprintf(stderr, "inflight churn diverged: flat=%llu tree=%llu\n",
+                 static_cast<unsigned long long>(flat_checksum),
+                 static_cast<unsigned long long>(tree_checksum));
+    return 1;
+  }
+  const double ops = static_cast<double>(kChurnOps);
+  metrics.push_back(
+      {"stack.inflight_churn.flat_ops_per_sec", ops / flat_churn_secs, "ops/s"});
+  metrics.push_back(
+      {"stack.inflight_churn.tree_ops_per_sec", ops / tree_churn_secs, "ops/s"});
+  metrics.push_back({"stack.inflight_churn.flat_vs_tree_speedup",
+                     tree_churn_secs / flat_churn_secs, "x"});
+
+  const std::size_t kPredictorEvents = 200000;
+  const double markov_secs = bench_predictor<MarkovPredictor>(kPredictorEvents);
+  metrics.push_back({"stack.predictor.markov_events_per_sec",
+                     static_cast<double>(kPredictorEvents) / markov_secs,
+                     "events/s"});
+  const double ppm_secs = bench_predictor<PpmPredictor>(kPredictorEvents);
+  metrics.push_back({"stack.predictor.ppm_events_per_sec",
+                     static_cast<double>(kPredictorEvents) / ppm_secs,
+                     "events/s"});
+
+  std::uint64_t proxy_flat_requests = 0, proxy_tree_requests = 0;
+  const double proxy_flat_secs = bench_proxy_sim(false, &proxy_flat_requests);
+  const double proxy_tree_secs = bench_proxy_sim(true, &proxy_tree_requests);
+  if (proxy_flat_requests != proxy_tree_requests) {
+    std::fprintf(stderr, "proxy sim backends diverged: flat=%llu tree=%llu\n",
+                 static_cast<unsigned long long>(proxy_flat_requests),
+                 static_cast<unsigned long long>(proxy_tree_requests));
+    return 1;
+  }
+  metrics.push_back({"stack.proxy_sim.flat_requests_per_sec",
+                     static_cast<double>(proxy_flat_requests) / proxy_flat_secs,
+                     "requests/s"});
+  metrics.push_back({"stack.proxy_sim.tree_requests_per_sec",
+                     static_cast<double>(proxy_tree_requests) / proxy_tree_secs,
+                     "requests/s"});
+  metrics.push_back({"stack.proxy_sim.flat_vs_tree_speedup",
+                     proxy_tree_secs / proxy_flat_secs, "x"});
+
+  std::uint64_t replay_flat_requests = 0, replay_tree_requests = 0;
+  const double replay_flat_secs =
+      bench_trace_replay(false, &replay_flat_requests);
+  const double replay_tree_secs =
+      bench_trace_replay(true, &replay_tree_requests);
+  if (replay_flat_requests != replay_tree_requests) {
+    std::fprintf(stderr, "trace replay backends diverged: flat=%llu tree=%llu\n",
+                 static_cast<unsigned long long>(replay_flat_requests),
+                 static_cast<unsigned long long>(replay_tree_requests));
+    return 1;
+  }
+  metrics.push_back(
+      {"stack.trace_replay.flat_requests_per_sec",
+       static_cast<double>(replay_flat_requests) / replay_flat_secs,
+       "requests/s"});
+  metrics.push_back(
+      {"stack.trace_replay.tree_requests_per_sec",
+       static_cast<double>(replay_tree_requests) / replay_tree_secs,
+       "requests/s"});
+  metrics.push_back({"stack.trace_replay.flat_vs_tree_speedup",
+                     replay_tree_secs / replay_flat_secs, "x"});
+
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": 1,\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                 metrics[i].name.c_str(), metrics[i].value,
+                 metrics[i].unit.c_str(), i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+  for (const auto& m : metrics) {
+    std::printf("  %-45s %14.4g %s\n", m.name.c_str(), m.value,
+                m.unit.c_str());
+  }
+  return 0;
+}

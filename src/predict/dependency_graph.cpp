@@ -14,11 +14,16 @@ DependencyGraphPredictor::DependencyGraphPredictor(std::size_t lookahead)
 void DependencyGraphPredictor::observe(UserId user, std::uint64_t item) {
   auto& window = window_[user];
   // Credit `item` as a follower of each access still inside the window —
-  // at most once per occurrence (count distinct followers per window slot).
-  std::unordered_set<std::uint64_t> credited;
-  for (std::uint64_t predecessor : window) {
+  // at most once per occurrence. The window holds at most `lookahead_`
+  // entries (a handful), so de-duplicating by scanning the window prefix
+  // beats materializing a per-call hash set.
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const std::uint64_t predecessor = window[i];
     if (predecessor == item) continue;
-    if (!credited.insert(predecessor).second) continue;
+    if (std::find(window.begin(), window.begin() + static_cast<std::ptrdiff_t>(i),
+                  predecessor) != window.begin() + static_cast<std::ptrdiff_t>(i)) {
+      continue;  // duplicate window slot, already credited this occurrence
+    }
     ++graph_[predecessor].followers[item];
   }
   ++graph_[item].occurrences;
@@ -28,17 +33,16 @@ void DependencyGraphPredictor::observe(UserId user, std::uint64_t item) {
 
 std::vector<Candidate> DependencyGraphPredictor::predict(
     UserId user, std::size_t max_candidates) const {
-  auto window_it = window_.find(user);
-  if (window_it == window_.end() || window_it->second.empty()) return {};
-  const std::uint64_t current = window_it->second.back();
-  auto node_it = graph_.find(current);
-  if (node_it == graph_.end() || node_it->second.occurrences == 0) return {};
+  const std::deque<std::uint64_t>* window = window_.find(user);
+  if (!window || window->empty()) return {};
+  const std::uint64_t current = window->back();
+  const NodeCounts* node = graph_.find(current);
+  if (!node || node->occurrences == 0) return {};
 
-  const NodeCounts& node = node_it->second;
   std::vector<Candidate> out;
-  out.reserve(node.followers.size());
-  const double occurrences = static_cast<double>(node.occurrences);
-  for (const auto& [item, count] : node.followers) {
+  out.reserve(node->followers.size());
+  const double occurrences = static_cast<double>(node->occurrences);
+  for (const auto& [item, count] : node->followers) {
     // P(B follows A within w) estimated as count / occurrences(A); clip to 1
     // (a follower can be credited once per occurrence, so this stays <= 1).
     out.push_back(
@@ -54,12 +58,12 @@ std::vector<Candidate> DependencyGraphPredictor::predict(
 
 double DependencyGraphPredictor::dependency_probability(std::uint64_t a,
                                                         std::uint64_t b) const {
-  auto node_it = graph_.find(a);
-  if (node_it == graph_.end() || node_it->second.occurrences == 0) return 0.0;
-  auto f_it = node_it->second.followers.find(b);
-  if (f_it == node_it->second.followers.end()) return 0.0;
-  return static_cast<double>(f_it->second) /
-         static_cast<double>(node_it->second.occurrences);
+  const NodeCounts* node = graph_.find(a);
+  if (!node || node->occurrences == 0) return 0.0;
+  const std::uint64_t* count = node->followers.find(b);
+  if (!count) return 0.0;
+  return static_cast<double>(*count) /
+         static_cast<double>(node->occurrences);
 }
 
 }  // namespace specpf

@@ -5,10 +5,9 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "predict/predictor.hpp"
+#include "util/flat_hash.hpp"
 
 namespace specpf {
 
@@ -26,13 +25,13 @@ class DependencyGraphPredictor final : public Predictor {
 
  private:
   struct NodeCounts {
-    std::unordered_map<std::uint64_t, std::uint64_t> followers;
+    FlatHashMap<std::uint64_t> followers;
     std::uint64_t occurrences = 0;
   };
 
   std::size_t lookahead_;
-  std::unordered_map<std::uint64_t, NodeCounts> graph_;
-  std::unordered_map<UserId, std::deque<std::uint64_t>> window_;
+  FlatHashMap<NodeCounts> graph_;
+  FlatHashMap<std::deque<std::uint64_t>> window_;
 };
 
 }  // namespace specpf

@@ -3,9 +3,8 @@
 // stationary distribution when the workload really is IRM.
 #pragma once
 
-#include <unordered_map>
-
 #include "predict/predictor.hpp"
+#include "util/flat_hash.hpp"
 
 namespace specpf {
 
@@ -20,7 +19,7 @@ class FrequencyPredictor final : public Predictor {
   std::uint64_t total() const { return total_; }
 
  private:
-  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  FlatHashMap<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
 };
 

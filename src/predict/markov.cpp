@@ -12,29 +12,27 @@ MarkovPredictor::MarkovPredictor(double laplace) : laplace_(laplace) {
 
 void MarkovPredictor::observe(UserId user, std::uint64_t item) {
   ++observations_;
-  auto has_it = has_last_.find(user);
-  if (has_it != has_last_.end() && has_it->second) {
-    NodeCounts& node = counts_[last_item_[user]];
+  if (const std::uint64_t* last = last_.find(user)) {
+    NodeCounts& node = counts_[*last];
     ++node.successors[item];
     ++node.total;
   }
-  last_item_[user] = item;
-  has_last_[user] = true;
+  last_[user] = item;
 }
 
 std::vector<Candidate> MarkovPredictor::predict(
     UserId user, std::size_t max_candidates) const {
-  auto has_it = has_last_.find(user);
-  if (has_it == has_last_.end() || !has_it->second) return {};
-  auto node_it = counts_.find(last_item_.at(user));
-  if (node_it == counts_.end() || node_it->second.total == 0) return {};
+  const std::uint64_t* last = last_.find(user);
+  if (!last) return {};
+  const NodeCounts* node = counts_.find(*last);
+  if (!node || node->total == 0) return {};
 
-  const NodeCounts& node = node_it->second;
-  const double denom = static_cast<double>(node.total) +
-                       laplace_ * static_cast<double>(node.successors.size());
+  const double denom =
+      static_cast<double>(node->total) +
+      laplace_ * static_cast<double>(node->successors.size());
   std::vector<Candidate> out;
-  out.reserve(node.successors.size());
-  for (const auto& [item, count] : node.successors) {
+  out.reserve(node->successors.size());
+  for (const auto& [item, count] : node->successors) {
     out.push_back(
         Candidate{item, (static_cast<double>(count) + laplace_) / denom});
   }
@@ -48,12 +46,11 @@ std::vector<Candidate> MarkovPredictor::predict(
 
 double MarkovPredictor::transition_probability(std::uint64_t current,
                                                std::uint64_t next) const {
-  auto node_it = counts_.find(current);
-  if (node_it == counts_.end() || node_it->second.total == 0) return 0.0;
-  auto succ_it = node_it->second.successors.find(next);
-  if (succ_it == node_it->second.successors.end()) return 0.0;
-  return static_cast<double>(succ_it->second) /
-         static_cast<double>(node_it->second.total);
+  const NodeCounts* node = counts_.find(current);
+  if (!node || node->total == 0) return 0.0;
+  const std::uint64_t* count = node->successors.find(next);
+  if (!count) return 0.0;
+  return static_cast<double>(*count) / static_cast<double>(node->total);
 }
 
 }  // namespace specpf

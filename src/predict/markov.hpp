@@ -3,9 +3,8 @@
 // Markov access models.
 #pragma once
 
-#include <unordered_map>
-
 #include "predict/predictor.hpp"
+#include "util/flat_hash.hpp"
 
 namespace specpf {
 
@@ -27,14 +26,16 @@ class MarkovPredictor final : public Predictor {
 
  private:
   struct NodeCounts {
-    std::unordered_map<std::uint64_t, std::uint64_t> successors;
+    FlatHashMap<std::uint64_t> successors;
     std::uint64_t total = 0;
   };
 
   double laplace_;
-  std::unordered_map<std::uint64_t, NodeCounts> counts_;
-  std::unordered_map<UserId, std::uint64_t> last_item_;
-  std::unordered_map<UserId, bool> has_last_;
+  FlatHashMap<NodeCounts> counts_;
+  /// Most recent item per user; presence in the table *is* the "has a last
+  /// item" bit (one probe where the old parallel last_item_/has_last_
+  /// unordered_maps cost two).
+  FlatHashMap<std::uint64_t> last_;
   std::uint64_t observations_ = 0;
 };
 

@@ -12,10 +12,10 @@ void OraclePredictor::observe(UserId user, std::uint64_t item) {
 
 std::vector<Candidate> OraclePredictor::predict(
     UserId user, std::size_t max_candidates) const {
-  auto it = current_page_.find(user);
-  if (it == current_page_.end()) return {};
+  const std::uint64_t* page = current_page_.find(user);
+  if (!page) return {};
   std::vector<Candidate> out;
-  for (const auto& link : graph_.next_distribution(it->second)) {
+  for (const auto& link : graph_.next_distribution(*page)) {
     out.push_back(Candidate{link.target, link.probability});
   }
   std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {

@@ -5,9 +5,8 @@
 // policy behaviour from predictor quality.
 #pragma once
 
-#include <unordered_map>
-
 #include "predict/predictor.hpp"
+#include "util/flat_hash.hpp"
 #include "workload/session_graph.hpp"
 
 namespace specpf {
@@ -22,7 +21,7 @@ class OraclePredictor final : public Predictor {
 
  private:
   const SessionGraph& graph_;
-  std::unordered_map<UserId, std::uint64_t> current_page_;
+  FlatHashMap<std::uint64_t> current_page_;
 };
 
 }  // namespace specpf

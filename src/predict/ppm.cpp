@@ -39,24 +39,22 @@ void PpmPredictor::observe(UserId user, std::uint64_t item) {
 
 std::vector<Candidate> PpmPredictor::predict(
     UserId user, std::size_t max_candidates) const {
-  auto hist_it = history_.find(user);
-  if (hist_it == history_.end() || hist_it->second.empty()) return {};
-  const auto& hist = hist_it->second;
+  const std::deque<std::uint64_t>* hist = history_.find(user);
+  if (!hist || hist->empty()) return {};
 
   // PPM-C blending: start from the longest matching context; its
   // predictions get weight (1 - escape); the escape mass flows to the next
   // shorter context, and so on.
-  std::unordered_map<std::uint64_t, double> blended;
+  FlatHashMap<double> blended;
   double carry = 1.0;  // probability mass not yet assigned
-  for (std::size_t order = std::min(max_order_, hist.size()); order >= 1;
+  for (std::size_t order = std::min(max_order_, hist->size()); order >= 1;
        --order) {
-    auto ctx_it = contexts_.find(hash_context(hist, order));
-    if (ctx_it == contexts_.end() || ctx_it->second.total == 0) continue;
-    const ContextCounts& ctx = ctx_it->second;
-    const double distinct = static_cast<double>(ctx.successors.size());
-    const double total = static_cast<double>(ctx.total);
+    const ContextCounts* ctx = contexts_.find(hash_context(*hist, order));
+    if (!ctx || ctx->total == 0) continue;
+    const double distinct = static_cast<double>(ctx->successors.size());
+    const double total = static_cast<double>(ctx->total);
     const double escape = distinct / (total + distinct);
-    for (const auto& [item, count] : ctx.successors) {
+    for (const auto& [item, count] : ctx->successors) {
       blended[item] +=
           carry * (1.0 - escape) * static_cast<double>(count) / total;
     }

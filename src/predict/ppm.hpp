@@ -6,10 +6,10 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "predict/predictor.hpp"
+#include "util/flat_hash.hpp"
 
 namespace specpf {
 
@@ -27,7 +27,7 @@ class PpmPredictor final : public Predictor {
 
  private:
   struct ContextCounts {
-    std::unordered_map<std::uint64_t, std::uint64_t> successors;
+    FlatHashMap<std::uint64_t> successors;
     std::uint64_t total = 0;
   };
 
@@ -36,8 +36,8 @@ class PpmPredictor final : public Predictor {
                                     std::size_t length);
 
   std::size_t max_order_;
-  std::unordered_map<std::uint64_t, ContextCounts> contexts_;
-  std::unordered_map<UserId, std::deque<std::uint64_t>> history_;
+  FlatHashMap<ContextCounts> contexts_;
+  FlatHashMap<std::deque<std::uint64_t>> history_;
 };
 
 }  // namespace specpf

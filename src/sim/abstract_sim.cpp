@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "net/ps_server.hpp"
 #include "util/contract.hpp"
 #include "util/distributions.hpp"
+#include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 
 namespace specpf {
@@ -70,8 +70,9 @@ AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
       config.op.prefetch_rate - static_cast<double>(whole_prefetches);
 
   bool measuring = config.warmup == 0.0;
+  // Ordered: inflight_wait attaches to the *oldest* outstanding prefetch.
   std::set<std::uint64_t> outstanding_prefetches;
-  std::map<std::uint64_t, std::vector<double>> prefetch_waiters;
+  FlatHashMap<std::vector<double>> prefetch_waiters;
   ServerStats horizon_stats;
 
   ExponentialDist interarrival(1.0 / lambda);
@@ -82,12 +83,11 @@ AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
         server.submit(size, [&, count](const TransferResult& r) {
           if (count) metrics.record_prefetch_retrieval(r.sojourn());
           outstanding_prefetches.erase(r.job_id);
-          auto it = prefetch_waiters.find(r.job_id);
-          if (it != prefetch_waiters.end()) {
-            for (double request_time : it->second) {
+          if (const auto* waiters = prefetch_waiters.find(r.job_id)) {
+            for (double request_time : *waiters) {
               metrics.record_inflight_hit(sim.now() - request_time);
             }
-            prefetch_waiters.erase(it);
+            prefetch_waiters.erase(r.job_id);
           }
         });
     outstanding_prefetches.insert(id);

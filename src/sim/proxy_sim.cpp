@@ -73,6 +73,7 @@ ProxySimResult run_proxy_sim(const ProxySimConfig& config,
   runtime_config.seed = config.seed;
   runtime_config.lambda_prior =
       static_cast<double>(config.num_users) * session_len / cycle;
+  runtime_config.use_tree_inflight = config.use_tree_inflight;
 
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, runtime_config);

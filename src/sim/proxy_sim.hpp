@@ -55,6 +55,10 @@ struct ProxySimConfig {
   double warmup = 200.0;
   std::uint64_t seed = 1;
 
+  /// Use the legacy std::map in-flight backend (reference for differential
+  /// tests and the perf_stack baseline; the flat hash is the default).
+  bool use_tree_inflight = false;
+
   void validate() const;
 };
 

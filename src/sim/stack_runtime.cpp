@@ -42,6 +42,8 @@ StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
       policy_(policy),
       config_(config),
       server_(sim, config.bandwidth),
+      estimate_cache_(config.num_users, 0.0),
+      inflight_(config.use_tree_inflight),
       demand_inflight_(config.num_users, 0),
       pending_prefetches_(config.num_users),
       measuring_(false) {
@@ -61,12 +63,26 @@ StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
     });
     caches_.push_back(std::make_unique<TaggedCache>(std::move(inner)));
   }
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    refresh_estimate(static_cast<UserId>(u));
+  }
+}
+
+void StackRuntime::refresh_estimate(UserId user) {
+  const double e =
+      config_.estimator_model == core::InteractionModel::kModelA
+          ? caches_[user]->estimate_model_a()
+          : caches_[user]->estimate_model_b();
+  estimate_sum_ += e - estimate_cache_[user];
+  estimate_cache_[user] = e;
 }
 
 void StackRuntime::begin_measurement() {
   measuring_ = true;
   metrics_.reset();
   server_.reset_stats();
+  // Warmup evictions belong to the warmup, like every other metric.
+  wasted_evictions_ = 0;
 }
 
 PolicyContext StackRuntime::current_context() const {
@@ -78,14 +94,8 @@ PolicyContext StackRuntime::current_context() const {
       (total_requests_ >= 100 && sim_.now() > 1.0)
           ? static_cast<double>(total_requests_) / sim_.now()
           : config_.lambda_prior;
-  double h_sum = 0.0;
-  for (const auto& cache : caches_) {
-    h_sum += config_.estimator_model == core::InteractionModel::kModelA
-                 ? cache->estimate_model_a()
-                 : cache->estimate_model_b();
-  }
   ctx.params.hit_ratio = std::clamp(
-      h_sum / static_cast<double>(config_.num_users), 0.0, 0.999);
+      estimate_sum_ / static_cast<double>(config_.num_users), 0.0, 0.999);
   return ctx;
 }
 
@@ -94,31 +104,32 @@ void StackRuntime::flush_pending_prefetches(UserId user) {
   pending_prefetches_[user].clear();
   for (ItemId item : batch) {
     if (caches_[user]->inner().contains(item)) continue;
-    if (inflight_.count({user, item})) continue;
+    if (inflight_.contains(inflight_key(user, item))) continue;
     submit_retrieval(user, item, /*is_prefetch=*/true);
   }
 }
 
 void StackRuntime::submit_retrieval(UserId user, ItemId item,
                                     bool is_prefetch) {
-  inflight_[{user, item}].is_prefetch = is_prefetch;
+  inflight_.get_or_insert(inflight_key(user, item)).is_prefetch = is_prefetch;
   if (!is_prefetch) ++demand_inflight_[user];
-  const bool count = measuring_;
-  server_.submit(config_.item_size, [this, user, item, is_prefetch,
-                                     count](const TransferResult& r) {
-    if (count) {
+  server_.submit(config_.item_size, [this, user, item,
+                                     is_prefetch](const TransferResult& r) {
+    // Re-read measuring_ at completion: a retrieval submitted during warmup
+    // that lands inside the measurement window counts toward retrieval
+    // metrics, matching the server stats (which are reset at the warmup
+    // boundary and see the same completion).
+    if (measuring_) {
       if (is_prefetch) {
         metrics_.record_prefetch_retrieval(r.sojourn());
       } else {
         metrics_.record_demand_retrieval(r.sojourn());
       }
     }
-    auto node = inflight_.extract({user, item});
-    SPECPF_ASSERT(!node.empty());
-    const Inflight& info = node.mapped();
+    const Inflight info = inflight_.take(inflight_key(user, item));
     TaggedCache& cache = *caches_[user];
     if (is_prefetch) {
-      if (info.waiter_times.empty()) {
+      if (info.waiter_times.empty() && !info.demand_promoted) {
         cache.admit_prefetch(item);
       } else {
         cache.admit_prefetch_accessed(item);
@@ -126,6 +137,7 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
     } else {
       cache.admit_demand(item);
     }
+    refresh_estimate(user);
     if (measuring_) {
       for (double t0 : info.waiter_times) {
         if (is_prefetch) {
@@ -135,7 +147,10 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
         }
       }
     }
-    if (!is_prefetch && --demand_inflight_[user] == 0) {
+    // A prefetch that a demand miss attached to holds the link like a
+    // demand fetch (the user is blocked on it).
+    const bool held_link = !is_prefetch || info.demand_promoted;
+    if (held_link && --demand_inflight_[user] == 0) {
       flush_pending_prefetches(user);
     }
   });
@@ -151,18 +166,27 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
       if (measuring_) metrics_.record_hit();
       break;
     case AccessOutcome::kMiss: {
-      auto it = inflight_.find({user, item});
-      if (it != inflight_.end()) {
-        if (measuring_) it->second.waiter_times.push_back(sim_.now());
+      if (Inflight* fl = inflight_.find(inflight_key(user, item))) {
+        if (measuring_) fl->waiter_times.push_back(sim_.now());
+        if (fl->is_prefetch && !fl->demand_promoted) {
+          // Promote: the user now waits on this transfer, so it must defer
+          // prefetch dispatch exactly like a demand fetch (paper §1's
+          // idle-link rule). Promotion is independent of measuring_ — it
+          // changes dynamics, not just metrics.
+          fl->demand_promoted = true;
+          ++demand_inflight_[user];
+        }
       } else {
         submit_retrieval(user, item, /*is_prefetch=*/false);
         if (measuring_) {
-          inflight_[{user, item}].waiter_times.push_back(sim_.now());
+          inflight_.get_or_insert(inflight_key(user, item))
+              .waiter_times.push_back(sim_.now());
         }
       }
       break;
     }
   }
+  refresh_estimate(user);
 
   predictor_.observe(user, item);
   const auto predictions =
@@ -173,7 +197,7 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
   for (const auto& c : predictions) {
     if (c.item == item) continue;
     if (cache.inner().contains(c.item)) continue;
-    if (inflight_.count({user, c.item})) continue;
+    if (inflight_.contains(inflight_key(user, c.item))) continue;
     viable.push_back(c);
   }
   if (viable.empty()) return;

@@ -20,6 +20,7 @@
 #include "policy/policy.hpp"
 #include "predict/predictor.hpp"
 #include "sim/metrics.hpp"
+#include "util/flat_hash.hpp"
 
 namespace specpf {
 
@@ -37,6 +38,10 @@ struct StackRuntimeConfig {
   std::uint64_t seed = 1;
   /// Request-rate estimate used until ≥100 requests are observed.
   double lambda_prior = 1.0;
+  /// Keep in-flight bookkeeping in the legacy std::map instead of the flat
+  /// hash — the byte-identical reference backend for differential tests and
+  /// the perf_stack baseline.
+  bool use_tree_inflight = false;
 };
 
 class StackRuntime {
@@ -47,7 +52,8 @@ class StackRuntime {
 
   /// Full per-request pipeline: cache access, demand fetch on miss (or
   /// attach to an in-flight transfer), predictor update, policy decision,
-  /// prefetch dispatch/deferral.
+  /// prefetch dispatch/deferral. Items must fit in 32 bits (in-flight keys
+  /// are packed as (user << 32) | item).
   void handle_request(UserId user, ItemId item);
 
   /// Ends the warmup: clears metrics and server statistics.
@@ -67,12 +73,60 @@ class StackRuntime {
  private:
   struct Inflight {
     bool is_prefetch = false;
+    /// A demand miss attached to this prefetch while it was in flight: the
+    /// user is blocked on it, so it holds the link like a demand fetch and
+    /// defers further prefetch dispatch until it lands.
+    bool demand_promoted = false;
     std::vector<double> waiter_times;
   };
+
+  /// In-flight transfers keyed by (user << 32) | item. The flat backend is
+  /// the data plane; the tree backend preserves the original std::map
+  /// behaviour as a differential baseline.
+  class InflightIndex {
+   public:
+    explicit InflightIndex(bool use_tree) : use_tree_(use_tree) {}
+
+    Inflight* find(std::uint64_t key) {
+      if (!use_tree_) return flat_.find(key);
+      auto it = tree_.find(key);
+      return it == tree_.end() ? nullptr : &it->second;
+    }
+    Inflight& get_or_insert(std::uint64_t key) {
+      return use_tree_ ? tree_[key] : flat_[key];
+    }
+    bool contains(std::uint64_t key) const {
+      return use_tree_ ? tree_.count(key) != 0 : flat_.contains(key);
+    }
+    Inflight take(std::uint64_t key) {
+      if (!use_tree_) return flat_.take(key);
+      auto node = tree_.extract(key);
+      SPECPF_ASSERT(!node.empty());
+      return std::move(node.mapped());
+    }
+
+   private:
+    bool use_tree_;
+    FlatHashMap<Inflight> flat_;
+    std::map<std::uint64_t, Inflight> tree_;
+  };
+
+  static std::uint64_t inflight_key(UserId user, ItemId item) {
+    // Single choke point for the packing contract: every path that touches
+    // in-flight state (demand misses, predictor candidates, deferred
+    // flushes) builds its key here, so an oversized item can never alias
+    // another user's entry.
+    SPECPF_EXPECTS((item >> 32) == 0);
+    return (static_cast<std::uint64_t>(user) << 32) | item;
+  }
 
   PolicyContext current_context() const;
   void submit_retrieval(UserId user, ItemId item, bool is_prefetch);
   void flush_pending_prefetches(UserId user);
+  /// Refreshes the cached ĥ' contribution of `user` after a cache mutation.
+  /// Keeps current_context() O(1) instead of O(num_users) per request —
+  /// the difference between a million-user sweep finishing and not.
+  void refresh_estimate(UserId user);
 
   Simulator& sim_;
   Predictor& predictor_;
@@ -82,7 +136,10 @@ class StackRuntime {
   PsServer server_;
   SimMetrics metrics_;
   std::vector<std::unique_ptr<TaggedCache>> caches_;
-  std::map<std::pair<UserId, ItemId>, Inflight> inflight_;
+  /// Per-user ĥ' estimates and their running sum; updated on mutation.
+  std::vector<double> estimate_cache_;
+  double estimate_sum_ = 0.0;
+  InflightIndex inflight_;
   std::vector<int> demand_inflight_;
   std::vector<std::vector<ItemId>> pending_prefetches_;
   std::uint64_t total_requests_ = 0;

@@ -1,7 +1,5 @@
 #include "sim/trace_replay.hpp"
 
-#include <map>
-
 #include "des/simulator.hpp"
 #include "predict/dependency_graph.hpp"
 #include "predict/frequency.hpp"
@@ -45,10 +43,13 @@ ProxySimResult run_trace_replay(const Trace& trace,
   SPECPF_EXPECTS(!trace.empty());
   SPECPF_EXPECTS(trace.is_time_ordered());
 
-  // Densify user ids: the runtime indexes users contiguously.
-  std::map<std::uint32_t, UserId> user_index;
+  // Densify user ids (first-appearance order): the runtime indexes users
+  // contiguously.
+  FlatHashMap<UserId> user_index;
   for (const auto& r : trace.records()) {
-    user_index.emplace(r.user, static_cast<UserId>(user_index.size()));
+    bool inserted = false;
+    UserId& dense = user_index.get_or_insert(r.user, &inserted);
+    if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
   }
 
   auto predictor = make_predictor(config.predictor_kind);
@@ -63,6 +64,7 @@ ProxySimResult run_trace_replay(const Trace& trace,
   runtime_config.max_prefetch_per_request = config.max_prefetch_per_request;
   runtime_config.seed = config.seed;
   runtime_config.lambda_prior = std::max(1e-9, trace.mean_request_rate());
+  runtime_config.use_tree_inflight = config.use_tree_inflight;
 
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, runtime_config);
@@ -76,7 +78,7 @@ ProxySimResult run_trace_replay(const Trace& trace,
 
   std::size_t index = 0;
   for (const auto& r : trace.records()) {
-    const UserId user = user_index.at(r.user);
+    const UserId user = *user_index.find(r.user);
     const double when = r.time - t0;
     SPECPF_EXPECTS(when >= 0.0);
     if (warmup_records > 0 && index == warmup_records) {

@@ -39,6 +39,10 @@ struct TraceReplayConfig {
   double warmup_fraction = 0.1;
   std::uint64_t seed = 1;  ///< only used by the random cache kind
 
+  /// Use the legacy std::map in-flight backend (reference for differential
+  /// tests and the perf_stack baseline; the flat hash is the default).
+  bool use_tree_inflight = false;
+
   void validate() const;
 };
 

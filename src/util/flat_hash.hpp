@@ -1,0 +1,334 @@
+// Open-addressing flat hash map for 64-bit keys — the request-plane
+// container of the proxy stack (in-flight transfer bookkeeping, predictor
+// tables, trace indexes).
+//
+// Design: robin-hood probing over a power-of-two table with backward-shift
+// deletion, so the table is tombstone-free and lookups never scan dead
+// slots. One byte of metadata per slot (0 = empty, d = probe distance + 1)
+// keeps the probe loop inside a single contiguous array; entries live in a
+// parallel flat array, so a hit costs a couple of cache lines instead of a
+// node-pointer chase per level of a tree or per bucket chain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+/// 64→64-bit mixer (the splitmix64 finalizer). Packed keys such as
+/// (user << 32) | item concentrate their entropy in a few bit positions;
+/// the mix spreads it across the whole index range.
+inline std::uint64_t mix_u64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Flat hash map from std::uint64_t to V. V must be default-constructible,
+/// movable, and move-assignable. Iteration order is an implementation
+/// detail (it depends on the insertion history), but is deterministic for a
+/// given operation sequence — callers that need a canonical order sort.
+template <typename V>
+class FlatHashMap {
+ public:
+  /// An occupied slot; supports structured bindings:
+  ///   for (const auto& [key, value] : map) ...
+  struct Entry {
+    std::uint64_t key;
+    V value;
+  };
+
+  FlatHashMap() = default;
+
+  ~FlatHashMap() {
+    clear();
+    deallocate();
+  }
+
+  FlatHashMap(FlatHashMap&& other) noexcept { steal(other); }
+
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      clear();
+      deallocate();
+      steal(other);
+    }
+    return *this;
+  }
+
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  V* find(std::uint64_t key) noexcept {
+    const std::size_t idx = find_index(key);
+    return idx == kNotFound ? nullptr : &slots_[idx].value;
+  }
+  const V* find(std::uint64_t key) const noexcept {
+    const std::size_t idx = find_index(key);
+    return idx == kNotFound ? nullptr : &slots_[idx].value;
+  }
+
+  bool contains(std::uint64_t key) const noexcept {
+    return find_index(key) != kNotFound;
+  }
+
+  /// Returns the value for `key`, inserting a value-initialized V first if
+  /// absent. `inserted` (when non-null) reports whether an insert happened.
+  V& get_or_insert(std::uint64_t key, bool* inserted = nullptr) {
+    if (V* v = find(key)) {
+      if (inserted) *inserted = false;
+      return *v;
+    }
+    if (inserted) *inserted = true;
+    return *insert_new(key, V{});
+  }
+
+  V& operator[](std::uint64_t key) { return get_or_insert(key); }
+
+  /// Removes `key`. Returns false when absent.
+  bool erase(std::uint64_t key) {
+    const std::size_t idx = find_index(key);
+    if (idx == kNotFound) return false;
+    erase_at(idx);
+    return true;
+  }
+
+  /// Moves the value for `key` out of the table and erases the entry.
+  /// Precondition: the key is present.
+  V take(std::uint64_t key) {
+    const std::size_t idx = find_index(key);
+    SPECPF_EXPECTS(idx != kNotFound);
+    V out = std::move(slots_[idx].value);
+    erase_at(idx);
+    return out;
+  }
+
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (meta_[i] != 0) {
+        slots_[i].~Entry();
+        meta_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Ensures `n` entries fit without further rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap > capacity_) rehash_to(cap);
+  }
+
+  template <bool Const>
+  class Iter {
+    using Map = std::conditional_t<Const, const FlatHashMap, FlatHashMap>;
+    using Ref = std::conditional_t<Const, const Entry&, Entry&>;
+
+   public:
+    Iter(Map* map, std::size_t idx) : map_(map), idx_(idx) { skip_empty(); }
+    Ref operator*() const { return map_->slots_[idx_]; }
+    Iter& operator++() {
+      ++idx_;
+      skip_empty();
+      return *this;
+    }
+    bool operator==(const Iter& other) const { return idx_ == other.idx_; }
+    bool operator!=(const Iter& other) const { return idx_ != other.idx_; }
+
+   private:
+    void skip_empty() {
+      while (idx_ < map_->capacity_ && map_->meta_[idx_] == 0) ++idx_;
+    }
+    Map* map_;
+    std::size_t idx_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, capacity_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, capacity_); }
+
+ private:
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kMinCapacity = 16;
+  // Grow past 7/8 occupancy: robin-hood keeps probe sequences short up to
+  // high load, and 7/8 keeps the memory overhead at ~1.14x entries.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+  // Longest representable probe distance (metadata is one byte, 0 = empty).
+  // Unreachable with a mixing hash at our load factor; hitting it forces a
+  // grow rather than corrupting metadata.
+  static constexpr std::uint32_t kMaxProbe = 254;
+
+  std::size_t find_index(std::uint64_t key) const noexcept {
+    if (size_ == 0) return kNotFound;
+    std::size_t idx = mix_u64(key) & mask_;
+    std::uint32_t dist = 1;
+    // Robin-hood invariant: a stored key's probe distance never exceeds the
+    // distance a probe for it has travelled, so the scan can stop at the
+    // first slot that is empty or closer to its own home than we are.
+    while (meta_[idx] >= dist) {
+      if (slots_[idx].key == key) return idx;
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+    return kNotFound;
+  }
+
+  /// Places the carried entry, displacing richer entries robin-hood style.
+  /// Returns the slot where the *initially* carried entry landed (the walk
+  /// only moves forward, so later displacements never touch it again), or
+  /// nullptr when a probe distance would overflow the metadata byte — the
+  /// caller grows the table (rehashing everything already placed) and
+  /// retries with whatever entry is left in the carry.
+  V* robin_place(std::uint64_t& carry_key, V& carry_value) {
+    std::size_t idx = mix_u64(carry_key) & mask_;
+    std::uint32_t dist = 1;
+    V* placed = nullptr;
+    for (;;) {
+      if (dist > kMaxProbe) return nullptr;
+      if (meta_[idx] == 0) {
+        ::new (static_cast<void*>(&slots_[idx]))
+            Entry{carry_key, std::move(carry_value)};
+        meta_[idx] = static_cast<std::uint8_t>(dist);
+        return placed ? placed : &slots_[idx].value;
+      }
+      if (meta_[idx] < dist) {
+        std::swap(carry_key, slots_[idx].key);
+        std::swap(carry_value, slots_[idx].value);
+        const std::uint8_t displaced = meta_[idx];
+        meta_[idx] = static_cast<std::uint8_t>(dist);
+        dist = displaced;
+        if (!placed) placed = &slots_[idx].value;
+      }
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  /// Inserts a key known to be absent; returns the value slot.
+  V* insert_new(std::uint64_t key, V value) {
+    if (capacity_ == 0 ||
+        (size_ + 1) * kMaxLoadDen > capacity_ * kMaxLoadNum) {
+      rehash_to(capacity_ ? capacity_ * 2 : kMinCapacity);
+    }
+    std::uint64_t carry_key = key;
+    V carry_value = std::move(value);
+    V* placed = robin_place(carry_key, carry_value);
+    while (placed == nullptr) {
+      // Overflow is possible both before and after the original entry was
+      // placed (the leftover carry may be a displaced victim), so re-locate
+      // the original by key once the table is big enough.
+      rehash_to(capacity_ * 2);
+      if (robin_place(carry_key, carry_value)) placed = find(key);
+    }
+    ++size_;
+    SPECPF_ASSERT(placed != nullptr);
+    return placed;
+  }
+
+  /// Backward-shift deletion: pull the probe chain one slot left until a
+  /// slot that is empty or at its home position. No tombstones.
+  void erase_at(std::size_t idx) {
+    std::size_t cur = idx;
+    for (;;) {
+      const std::size_t next = (cur + 1) & mask_;
+      if (meta_[next] <= 1) break;
+      slots_[cur].key = slots_[next].key;
+      slots_[cur].value = std::move(slots_[next].value);
+      meta_[cur] = static_cast<std::uint8_t>(meta_[next] - 1);
+      cur = next;
+    }
+    slots_[cur].~Entry();
+    meta_[cur] = 0;
+    --size_;
+  }
+
+  void rehash_to(std::size_t new_capacity) {
+    Entry* old_slots = slots_;
+    std::uint8_t* old_meta = meta_;
+    const std::size_t old_capacity = capacity_;
+
+    slots_ = std::allocator<Entry>{}.allocate(new_capacity);
+    meta_ = new std::uint8_t[new_capacity]{};
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+
+    for (std::size_t i = 0; i < old_capacity; ++i) {
+      if (old_meta[i] == 0) continue;
+      std::uint64_t key = old_slots[i].key;
+      V value = std::move(old_slots[i].value);
+      old_slots[i].~Entry();
+      // At ≤ 7/16 load after doubling a mixed-hash probe cannot plausibly
+      // reach kMaxProbe; fail loudly rather than recurse mid-rehash. The
+      // call stays outside the assert macro: it performs the insertion.
+      V* replaced = robin_place(key, value);
+      SPECPF_ASSERT(replaced != nullptr);
+    }
+    if (old_slots) std::allocator<Entry>{}.deallocate(old_slots, old_capacity);
+    delete[] old_meta;
+  }
+
+  void deallocate() {
+    if (slots_) std::allocator<Entry>{}.deallocate(slots_, capacity_);
+    delete[] meta_;
+    slots_ = nullptr;
+    meta_ = nullptr;
+    capacity_ = 0;
+    mask_ = 0;
+  }
+
+  void steal(FlatHashMap& other) noexcept {
+    slots_ = std::exchange(other.slots_, nullptr);
+    meta_ = std::exchange(other.meta_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    mask_ = std::exchange(other.mask_, 0);
+    size_ = std::exchange(other.size_, 0);
+  }
+
+  Entry* slots_ = nullptr;
+  std::uint8_t* meta_ = nullptr;  // 0 = empty, d = probe distance + 1
+  std::size_t capacity_ = 0;      // power of two, or 0 before first insert
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Flat hash set of 64-bit keys, built on FlatHashMap.
+class FlatHashSet {
+ public:
+  /// Returns true when the key was newly added.
+  bool insert(std::uint64_t key) {
+    bool added = false;
+    map_.get_or_insert(key, &added);
+    return added;
+  }
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  bool erase(std::uint64_t key) { return map_.erase(key); }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+ private:
+  struct Unit {};
+  FlatHashMap<Unit> map_;
+};
+
+}  // namespace specpf

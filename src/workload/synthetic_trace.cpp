@@ -1,0 +1,45 @@
+#include "workload/synthetic_trace.hpp"
+
+#include <vector>
+
+#include "util/contract.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+
+void SyntheticTraceConfig::validate() const {
+  SPECPF_EXPECTS(num_users >= 1);
+  SPECPF_EXPECTS(num_requests >= 1);
+  SPECPF_EXPECTS(request_rate > 0.0);
+}
+
+Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
+  config.validate();
+  SessionGraph graph(config.graph, Rng(config.seed).substream(1).next_u64());
+  Rng rng(config.seed);
+  ExponentialDist gap(1.0 / config.request_rate);
+
+  // Per-user session position; kIdle = between sessions. A flat vector (8
+  // bytes/user) keeps the generator itself out of the hash-map business.
+  constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  std::vector<std::uint64_t> page(config.num_users, kIdle);
+
+  std::vector<TraceRecord> records;
+  records.reserve(config.num_requests);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    t += gap.sample(rng);
+    const auto user =
+        static_cast<std::uint32_t>(rng.next_u64() % config.num_users);
+    std::uint64_t item;
+    if (page[user] == kIdle || !graph.sample_next(page[user], rng, &item)) {
+      item = graph.sample_entry(rng);  // new session (or the previous ended)
+    }
+    page[user] = item;
+    records.push_back({t, user, item});
+  }
+  return Trace{std::move(records)};
+}
+
+}  // namespace specpf

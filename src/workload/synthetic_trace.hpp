@@ -1,0 +1,35 @@
+// Synthetic large-population traces for the million-user sweep: a global
+// Poisson request process over a configurable user population, where each
+// user walks a shared Markov SessionGraph (sessions end with the graph's
+// exit probability and restart at a fresh entry page).
+//
+// The output is time-ordered by construction, so run_trace_replay can
+// bulk-schedule the whole trace into the engine's O(1)-pop sorted tier, and
+// per-user sequences stay first-order predictable — what the stack's
+// predictors exploit.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/session_graph.hpp"
+#include "workload/trace.hpp"
+
+namespace specpf {
+
+struct SyntheticTraceConfig {
+  std::size_t num_users = 1'000'000;
+  std::size_t num_requests = 4'000'000;
+  /// Aggregate request rate across the whole population (requests/s).
+  double request_rate = 10'000.0;
+  SessionGraphConfig graph;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Generates a time-ordered trace; every user id in [0, num_users) is
+/// equally likely per request, so for num_requests >> num_users nearly the
+/// whole population appears.
+Trace generate_synthetic_trace(const SyntheticTraceConfig& config);
+
+}  // namespace specpf

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/contract.hpp"
+#include "util/flat_hash.hpp"
 #include "util/math.hpp"
 
 namespace specpf {
@@ -31,13 +30,13 @@ void Trace::sort_by_time() {
 }
 
 std::size_t Trace::unique_items() const {
-  std::set<std::uint64_t> items;
+  FlatHashSet items;
   for (const auto& r : records_) items.insert(r.item);
   return items.size();
 }
 
 std::size_t Trace::unique_users() const {
-  std::set<std::uint32_t> users;
+  FlatHashSet users;
   for (const auto& r : records_) users.insert(r.user);
   return users.size();
 }
@@ -56,9 +55,13 @@ double Trace::mean_request_rate() const {
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::item_counts()
     const {
-  std::map<std::uint64_t, std::uint64_t> counts;
+  FlatHashMap<std::uint64_t> counts;
   for (const auto& r : records_) ++counts[r.item];
-  return {counts.begin(), counts.end()};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(counts.size());
+  for (const auto& [item, count] : counts) out.emplace_back(item, count);
+  std::sort(out.begin(), out.end());  // keep the item-sorted contract
+  return out;
 }
 
 void Trace::save_csv(std::ostream& os) const {

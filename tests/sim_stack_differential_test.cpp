@@ -1,0 +1,106 @@
+// Differential test: the flat-hash data plane must reproduce bit-identical
+// ProxySimResults against the legacy std::map in-flight backend, across
+// every predictor and cache kind, for both the generative proxy sim and
+// trace replay. The two backends differ only in container layout; any
+// divergence means the flat map changed behaviour, not just speed.
+#include <gtest/gtest.h>
+
+#include "policy/policies.hpp"
+#include "sim/proxy_sim.hpp"
+#include "sim/trace_replay.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace specpf {
+namespace {
+
+void expect_identical(const ProxySimResult& flat, const ProxySimResult& tree) {
+  EXPECT_EQ(flat.requests, tree.requests);
+  EXPECT_EQ(flat.demand_jobs, tree.demand_jobs);
+  EXPECT_EQ(flat.prefetch_jobs, tree.prefetch_jobs);
+  EXPECT_EQ(flat.wasted_prefetch_evictions, tree.wasted_prefetch_evictions);
+  EXPECT_EQ(flat.inflight_hits, tree.inflight_hits);
+  EXPECT_DOUBLE_EQ(flat.mean_access_time, tree.mean_access_time);
+  EXPECT_DOUBLE_EQ(flat.access_time_std_error, tree.access_time_std_error);
+  EXPECT_DOUBLE_EQ(flat.hit_ratio, tree.hit_ratio);
+  EXPECT_DOUBLE_EQ(flat.server_utilization, tree.server_utilization);
+  EXPECT_DOUBLE_EQ(flat.retrieval_time_per_request,
+                   tree.retrieval_time_per_request);
+  EXPECT_DOUBLE_EQ(flat.retrievals_per_request, tree.retrievals_per_request);
+  EXPECT_DOUBLE_EQ(flat.hprime_estimate, tree.hprime_estimate);
+  EXPECT_DOUBLE_EQ(flat.prefetch_useful_fraction,
+                   tree.prefetch_useful_fraction);
+  EXPECT_DOUBLE_EQ(flat.mean_inflight_wait, tree.mean_inflight_wait);
+  EXPECT_DOUBLE_EQ(flat.mean_demand_sojourn, tree.mean_demand_sojourn);
+}
+
+TEST(StackDifferential, FlatMatchesTreeAcrossPredictorsAndCacheKinds) {
+  const ProxySimConfig::PredictorKind predictors[] = {
+      ProxySimConfig::PredictorKind::kMarkov,
+      ProxySimConfig::PredictorKind::kPpm,
+      ProxySimConfig::PredictorKind::kDependencyGraph,
+      ProxySimConfig::PredictorKind::kFrequency,
+      ProxySimConfig::PredictorKind::kOracle,
+  };
+  const ProxySimConfig::CacheKind caches[] = {
+      ProxySimConfig::CacheKind::kLru, ProxySimConfig::CacheKind::kLfu,
+      ProxySimConfig::CacheKind::kFifo, ProxySimConfig::CacheKind::kClock,
+      ProxySimConfig::CacheKind::kRandom,
+  };
+  for (auto predictor : predictors) {
+    for (auto cache : caches) {
+      ProxySimConfig cfg;
+      cfg.num_users = 4;
+      cfg.bandwidth = 30.0;
+      cfg.graph.num_pages = 60;
+      cfg.graph.out_degree = 3;
+      cfg.graph.exit_probability = 0.2;
+      cfg.cache_capacity = 12;  // tight: keeps evictions + inflight churn hot
+      cfg.duration = 120.0;
+      cfg.warmup = 20.0;
+      cfg.seed = 9;
+      cfg.predictor_kind = predictor;
+      cfg.cache_kind = cache;
+
+      cfg.use_tree_inflight = false;
+      ThresholdPolicy flat_policy(core::InteractionModel::kModelA);
+      const ProxySimResult flat = run_proxy_sim(cfg, flat_policy);
+
+      cfg.use_tree_inflight = true;
+      ThresholdPolicy tree_policy(core::InteractionModel::kModelA);
+      const ProxySimResult tree = run_proxy_sim(cfg, tree_policy);
+
+      SCOPED_TRACE("predictor=" + std::to_string(static_cast<int>(predictor)) +
+                   " cache=" + std::to_string(static_cast<int>(cache)));
+      expect_identical(flat, tree);
+      EXPECT_GT(flat.requests, 0u);
+    }
+  }
+}
+
+TEST(StackDifferential, TraceReplayFlatMatchesTree) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  TraceReplayConfig cfg;
+  cfg.bandwidth = 60.0;
+  cfg.cache_capacity = 8;
+
+  cfg.use_tree_inflight = false;
+  ThresholdPolicy flat_policy(core::InteractionModel::kModelA);
+  const ProxySimResult flat = run_trace_replay(trace, cfg, flat_policy);
+
+  cfg.use_tree_inflight = true;
+  ThresholdPolicy tree_policy(core::InteractionModel::kModelA);
+  const ProxySimResult tree = run_trace_replay(trace, cfg, tree_policy);
+
+  expect_identical(flat, tree);
+  EXPECT_GT(flat.requests, 0u);
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,0 +1,216 @@
+// FlatHashMap / FlatHashSet: unit coverage plus randomized differential
+// fuzzing against the standard containers (exercises rehash growth and
+// backward-shift deletion under heavy collision pressure).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(FlatHashMap, InsertFindEraseBasics) {
+  FlatHashMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_FALSE(map.erase(42));
+
+  map[42] = 7;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 7);
+  EXPECT_TRUE(map.contains(42));
+  EXPECT_FALSE(map.contains(43));
+
+  map[42] = 9;  // overwrite, no duplicate
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.find(42), 9);
+
+  EXPECT_TRUE(map.erase(42));
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatHashMap, GetOrInsertReportsInsertion) {
+  FlatHashMap<std::uint64_t> map;
+  bool inserted = false;
+  map.get_or_insert(5, &inserted) = 50;
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.get_or_insert(5, &inserted), 50u);
+  EXPECT_FALSE(inserted);
+}
+
+TEST(FlatHashMap, ValueInitializedOnFirstAccess) {
+  FlatHashMap<double> map;
+  EXPECT_EQ(map[99], 0.0);
+  FlatHashMap<std::vector<int>> vmap;
+  EXPECT_TRUE(vmap[7].empty());
+  vmap[7].push_back(1);
+  EXPECT_EQ(vmap[7].size(), 1u);
+}
+
+TEST(FlatHashMap, TakeMovesValueOut) {
+  FlatHashMap<std::vector<double>> map;
+  map[3] = {1.0, 2.0, 3.0};
+  const std::vector<double> taken = map.take(3);
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_FALSE(map.contains(3));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatHashMap, GrowsThroughManyRehashes) {
+  FlatHashMap<std::uint64_t> map;
+  const std::uint64_t n = 100000;
+  for (std::uint64_t k = 0; k < n; ++k) map[k * 2654435761u] = k;
+  EXPECT_EQ(map.size(), n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const std::uint64_t* v = map.find(k * 2654435761u);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+}
+
+TEST(FlatHashMap, ReserveSurvivesFillWithoutLosingEntries) {
+  // Note: robin-hood displacement may move entries between slots even
+  // without a rehash, so pointer stability is NOT part of the contract —
+  // only that every value survives filling up to the reserved size.
+  FlatHashMap<std::uint64_t> map;
+  map.reserve(1000);
+  for (std::uint64_t k = 1; k <= 1000; ++k) map[k] = k + 10;
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(*map.find(k), k + 10);
+  }
+}
+
+TEST(FlatHashMap, IterationVisitsEachEntryOnce) {
+  FlatHashMap<std::uint64_t> map;
+  for (std::uint64_t k = 1; k <= 500; ++k) map[k * 7919] = k;
+  std::unordered_map<std::uint64_t, std::uint64_t> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "duplicate key " << key;
+  }
+  EXPECT_EQ(seen.size(), 500u);
+  for (std::uint64_t k = 1; k <= 500; ++k) EXPECT_EQ(seen.at(k * 7919), k);
+}
+
+TEST(FlatHashMap, MoveConstructAndAssign) {
+  FlatHashMap<int> a;
+  a[1] = 10;
+  a[2] = 20;
+  FlatHashMap<int> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.find(2), 20);
+  FlatHashMap<int> c;
+  c[5] = 50;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(*c.find(1), 10);
+  EXPECT_FALSE(c.contains(5));
+}
+
+TEST(FlatHashMap, ClearThenReuse) {
+  FlatHashMap<int> map;
+  for (std::uint64_t k = 0; k < 100; ++k) map[k] = static_cast<int>(k);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(5), nullptr);
+  map[5] = 55;
+  EXPECT_EQ(*map.find(5), 55);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, NonTrivialValuesSurviveEraseChurn) {
+  // std::string values force real construct/move/destroy through the
+  // backward-shift path.
+  FlatHashMap<std::string> map;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    map[k] = "value-" + std::to_string(k);
+  }
+  for (std::uint64_t k = 0; k < 200; k += 2) EXPECT_TRUE(map.erase(k));
+  EXPECT_EQ(map.size(), 100u);
+  for (std::uint64_t k = 1; k < 200; k += 2) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(*map.find(k), "value-" + std::to_string(k));
+  }
+  for (std::uint64_t k = 0; k < 200; k += 2) EXPECT_FALSE(map.contains(k));
+}
+
+TEST(FlatHashMap, FuzzDifferentialAgainstUnorderedMap) {
+  // Small key range concentrates collisions and forces long probe chains
+  // interleaved with backward-shift erases.
+  FlatHashMap<std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(0xF1A7);
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint64_t key = rng.next_u64() % 512;
+    switch (rng.next_u64() % 3) {
+      case 0: {  // insert / overwrite
+        const std::uint64_t value = rng.next_u64();
+        map[key] = value;
+        ref[key] = value;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 2: {  // lookup
+        const std::uint64_t* v = map.find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          EXPECT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Full sweep at the end: contents must match exactly, both directions.
+  std::size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(value, it->second);
+    ++visited;
+  }
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashSet, BasicsAndFuzz) {
+  FlatHashSet set;
+  EXPECT_TRUE(set.insert(10));
+  EXPECT_FALSE(set.insert(10));
+  EXPECT_TRUE(set.contains(10));
+  EXPECT_TRUE(set.erase(10));
+  EXPECT_FALSE(set.erase(10));
+  EXPECT_TRUE(set.empty());
+
+  std::unordered_set<std::uint64_t> ref;
+  Rng rng(0x5E7);
+  for (int op = 0; op < 50000; ++op) {
+    const std::uint64_t key = rng.next_u64() % 256;
+    if (rng.next_u64() % 2 == 0) {
+      EXPECT_EQ(set.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(set.erase(key), ref.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(set.size(), ref.size());
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(set.contains(k), ref.count(k) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace specpf

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "workload/catalog.hpp"
 #include "workload/request_stream.hpp"
 #include "workload/session_graph.hpp"
+#include "workload/synthetic_trace.hpp"
 #include "workload/trace.hpp"
 
 namespace specpf {
@@ -220,6 +222,77 @@ TEST(Trace, SortByTime) {
   trace.sort_by_time();
   EXPECT_TRUE(trace.is_time_ordered());
   EXPECT_EQ(trace.records()[0].item, 2u);
+}
+
+TEST(SyntheticTrace, TimeOrderedAndSized) {
+  SyntheticTraceConfig cfg;
+  cfg.num_users = 2000;
+  cfg.num_requests = 20000;
+  cfg.request_rate = 100.0;
+  cfg.seed = 3;
+  const Trace trace = generate_synthetic_trace(cfg);
+  EXPECT_EQ(trace.size(), cfg.num_requests);
+  EXPECT_TRUE(trace.is_time_ordered());
+  // Uniform user draws with requests >> users cover almost everyone.
+  EXPECT_GT(trace.unique_users(), cfg.num_users * 9 / 10);
+  EXPECT_LE(trace.unique_users(), cfg.num_users);
+  EXPECT_LE(trace.unique_items(), cfg.graph.num_pages);
+  EXPECT_GT(trace.unique_items(), 0u);
+  // Poisson process at the configured aggregate rate.
+  EXPECT_NEAR(trace.mean_request_rate(), cfg.request_rate,
+              cfg.request_rate * 0.1);
+}
+
+TEST(SyntheticTrace, DeterministicPerSeed) {
+  SyntheticTraceConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_requests = 1000;
+  const Trace a = generate_synthetic_trace(cfg);
+  const Trace b = generate_synthetic_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].user, b.records()[i].user);
+    EXPECT_EQ(a.records()[i].item, b.records()[i].item);
+    EXPECT_DOUBLE_EQ(a.records()[i].time, b.records()[i].time);
+  }
+  cfg.seed = 99;
+  const Trace c = generate_synthetic_trace(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a.records()[i].item != c.records()[i].item ||
+              a.records()[i].user != c.records()[i].user;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTrace, PerUserSequencesFollowTheSessionGraph) {
+  // Consecutive items of one user must be linked in the generating graph
+  // (or be session restarts at an entry page) — the structure predictors
+  // learn from.
+  SyntheticTraceConfig cfg;
+  cfg.num_users = 10;
+  cfg.num_requests = 2000;
+  cfg.seed = 17;
+  SessionGraph graph(cfg.graph, Rng(cfg.seed).substream(1).next_u64());
+  const Trace trace = generate_synthetic_trace(cfg);
+  std::map<std::uint32_t, std::uint64_t> last;
+  std::size_t linked = 0, steps = 0;
+  for (const auto& r : trace.records()) {
+    auto it = last.find(r.user);
+    if (it != last.end()) {
+      ++steps;
+      for (const auto& link : graph.links(it->second)) {
+        if (link.target == r.item) {
+          ++linked;
+          break;
+        }
+      }
+    }
+    last[r.user] = r.item;
+  }
+  ASSERT_GT(steps, 500u);
+  // With exit probability 0.15 most steps follow a link.
+  EXPECT_GT(static_cast<double>(linked) / static_cast<double>(steps), 0.6);
 }
 
 }  // namespace
