@@ -1,22 +1,59 @@
 // Million-user trace sweep: generates a ≥1M-user synthetic session trace,
-// bulk-schedules the whole thing into the engine's O(1)-pop sorted tier via
-// run_trace_replay, and drives the full flat-hash data plane (per-user
-// tagged caches, in-flight bookkeeping, learned predictor, threshold
-// policy) end-to-end — the paper's network-load question at the population
-// scale where prefetcher metadata efficiency dominates.
+// bulk-schedules the whole thing into the engine's O(1)-pop sorted tier,
+// and drives the full flat-hash data plane (per-user tagged caches,
+// in-flight bookkeeping, learned predictor, threshold policy) end-to-end —
+// the paper's network-load question at the population scale where
+// prefetcher metadata efficiency dominates.
+//
+// With --shards > 1 the population is split across a sharded fleet
+// (shard/sharded_sim.hpp): one engine per shard, conservative epoch
+// barriers, cross-shard traffic on the backbone — and --threads worker
+// threads drive the shards in parallel with bit-identical results.
 //
 //   ./million_user_sweep --users 1000000 --requests 3000000
+//   ./million_user_sweep --shards 8 --threads 8 --policy threshold-a
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "policy/policies.hpp"
+#include "shard/sharded_sim.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic_trace.hpp"
 
+namespace {
+
+using namespace specpf;
+
+/// Fresh-instance factory (shards need one instance each) over the
+/// library's name→policy mapping; unknown names fall back to threshold-a.
+PolicyFactory policy_factory(std::string name) {
+  if (!make_policy_by_name(name)) {
+    std::fprintf(stderr, "unknown policy '%s', using threshold-a\n",
+                 name.c_str());
+    name = "threshold-a";
+  }
+  return [name] { return make_policy_by_name(name); };
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace specpf;
   using Clock = std::chrono::steady_clock;
 
   ArgParser args("million_user_sweep",
@@ -26,7 +63,17 @@ int main(int argc, char** argv) {
   args.add_flag("rate", "10000", "aggregate request rate (req/s)");
   args.add_flag("pages", "400", "site size (pages)");
   args.add_flag("cache", "8", "per-user cache capacity (pages)");
-  args.add_flag("bandwidth", "20000", "shared link bandwidth (pages/s)");
+  args.add_flag("bandwidth", "20000", "per-region link bandwidth (pages/s)");
+  args.add_flag("shards", "1", "number of shards (1 = unsharded runtime)");
+  args.add_flag("threads", "1",
+                "worker threads for the shard driver (0 = hardware)");
+  args.add_flag("policy", "none,threshold-a",
+                "comma-separated policies: none|threshold-a|threshold-b|"
+                "fixed-<theta>|topk-<k>|adaptive-<w>|qos-<rho>");
+  args.add_flag("backbone-bandwidth", "40000",
+                "per-region origin uplink bandwidth (pages/s)");
+  args.add_flag("backbone-latency", "0.05",
+                "cross-shard latency = epoch lookahead (s)");
   args.add_flag("seed", "2001", "random seed");
   if (!args.parse(argc, argv)) return 1;
 
@@ -49,6 +96,9 @@ int main(int argc, char** argv) {
               gen_secs, trace.unique_users(), trace.unique_items(),
               trace.duration());
 
+  const auto shards = static_cast<std::size_t>(args.get_int("shards"));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads"));
+
   TraceReplayConfig replay_cfg;
   replay_cfg.bandwidth = args.get_double("bandwidth");
   replay_cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
@@ -57,22 +107,36 @@ int main(int argc, char** argv) {
   replay_cfg.seed = trace_cfg.seed;
 
   Table table({"policy", "access time", "hit ratio", "rho", "demand jobs",
-               "prefetch jobs", "inflight hits", "wall s", "req/s"});
+               "prefetch jobs", "inflight hits", "backbone jobs", "wall s",
+               "req/s"});
   table.set_precision(4);
-  const char* names[] = {"none", "threshold-A"};
-  for (int run = 0; run < 2; ++run) {
-    NoPrefetchPolicy none;
-    ThresholdPolicy threshold(core::InteractionModel::kModelA);
-    PrefetchPolicy& policy =
-        run == 0 ? static_cast<PrefetchPolicy&>(none) : threshold;
+  for (const std::string& name : split_csv(args.get_string("policy"))) {
+    const PolicyFactory factory = policy_factory(name);
     t0 = Clock::now();
-    const ProxySimResult r = run_trace_replay(trace, replay_cfg, policy);
+    ProxySimResult r;
+    std::uint64_t backbone_jobs = 0;
+    if (shards <= 1) {
+      auto policy = factory();
+      r = run_trace_replay(trace, replay_cfg, *policy);
+    } else {
+      ShardedReplayConfig sharded_cfg;
+      sharded_cfg.stack = replay_cfg;
+      sharded_cfg.num_shards = shards;
+      sharded_cfg.num_threads = threads;
+      sharded_cfg.backbone_bandwidth = args.get_double("backbone-bandwidth");
+      sharded_cfg.backbone_latency = args.get_double("backbone-latency");
+      const ShardedReplayResult sr =
+          run_sharded_replay(trace, sharded_cfg, factory);
+      r = sr.merged;
+      backbone_jobs = sr.backbone.jobs();
+    }
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
-    table.add_row({std::string(names[run]), r.mean_access_time, r.hit_ratio,
+    table.add_row({r.policy, r.mean_access_time, r.hit_ratio,
                    r.server_utilization,
                    static_cast<std::int64_t>(r.demand_jobs),
                    static_cast<std::int64_t>(r.prefetch_jobs),
-                   static_cast<std::int64_t>(r.inflight_hits), secs,
+                   static_cast<std::int64_t>(r.inflight_hits),
+                   static_cast<std::int64_t>(backbone_jobs), secs,
                    static_cast<double>(r.requests) / secs});
   }
   std::printf("\n%s\n", table.to_markdown().c_str());

@@ -206,43 +206,58 @@ void Simulator::cancel(const EventId& id) {
 
 bool Simulator::run_next(double limit) {
   flush_batch();
+  HeapEntry top;
+  bool from_run;
+  if (!peek_live_top(&top, &from_run)) return false;
+  if (top.time > limit) return false;
+  const std::uint32_t slot = top.slot();
+  Node& node = node_at(slot);
+  // Start fetching the node's cache line now; the pop below overlaps the
+  // miss so the action is already local when it is moved out.
+  __builtin_prefetch(&node, /*rw=*/1);
+  if (from_run) {
+    sorted_run_.pop_back();
+  } else {
+    heap_remove_top();
+  }
+  Action action = std::move(node.action);
+  release_slot(slot);  // slot reusable by whatever `action` schedules
+  now_ = top.time;
+  ++executed_;
+  action();
+  return true;
+}
+
+bool Simulator::peek_live_top(HeapEntry* top, bool* from_run) {
   for (;;) {
     const bool have_heap = heap_.size() > kHeapBase;
     const bool have_run = !sorted_run_.empty();
     if (!have_heap && !have_run) return false;
-    const bool from_run =
-        have_run &&
-        (!have_heap || sorted_run_.back().before(heap_[kHeapBase]));
-    const HeapEntry top = from_run ? sorted_run_.back() : heap_[kHeapBase];
-    const std::uint32_t slot = top.slot();
-    if (is_dead(slot)) {  // tombstone — collect and keep looking
-      if (from_run) {
-        sorted_run_.pop_back();
-      } else {
-        heap_remove_top();
-      }
-      --dead_in_heap_;
-      clear_dead(slot);
-      release_slot(slot);
-      continue;
-    }
-    if (top.time > limit) return false;
-    Node& node = node_at(slot);
-    // Start fetching the node's cache line now; the pop below overlaps the
-    // miss so the action is already local when it is moved out.
-    __builtin_prefetch(&node, /*rw=*/1);
-    if (from_run) {
+    *from_run = have_run && (!have_heap ||
+                             sorted_run_.back().before(heap_[kHeapBase]));
+    *top = *from_run ? sorted_run_.back() : heap_[kHeapBase];
+    const std::uint32_t slot = top->slot();
+    if (!is_dead(slot)) return true;
+    // Tombstone — collect and keep looking.
+    if (*from_run) {
       sorted_run_.pop_back();
     } else {
       heap_remove_top();
     }
-    Action action = std::move(node.action);
-    release_slot(slot);  // slot reusable by whatever `action` schedules
-    now_ = top.time;
-    ++executed_;
-    action();
-    return true;
+    --dead_in_heap_;
+    clear_dead(slot);
+    release_slot(slot);
   }
+}
+
+double Simulator::next_event_time() {
+  flush_batch();
+  HeapEntry top;
+  bool from_run;
+  if (!peek_live_top(&top, &from_run)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return top.time;
 }
 
 bool Simulator::step() {

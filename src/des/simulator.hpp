@@ -83,6 +83,13 @@ class Simulator {
   /// Runs until the queue drains.
   void run();
 
+  /// Timestamp of the earliest live pending event, or +infinity when the
+  /// queue is empty. Collects any tombstones sitting on top of either tier,
+  /// so the answer is exact. This is the epoch hook the sharded driver uses
+  /// to size conservative synchronization windows (epoch = earliest event +
+  /// lookahead) and to fast-forward through idle gaps.
+  double next_event_time();
+
   /// Number of events executed so far (excludes cancelled).
   std::uint64_t events_executed() const noexcept { return executed_; }
 
@@ -160,6 +167,12 @@ class Simulator {
   void flush_batch();
   void compact();
   void renumber_seqs();
+  /// Finds the earliest *live* pending entry across both tiers, collecting
+  /// any tombstones sitting on top along the way. Returns false when
+  /// nothing is pending; otherwise fills `top` and whether it came from the
+  /// sorted run. Shared by run_next and next_event_time so the epoch
+  /// driver's view of "next event" can never diverge from what pops.
+  bool peek_live_top(HeapEntry* top, bool* from_run);
   /// Executes the earliest runnable event with time <= limit. Returns false
   /// if the heap drains or only later events remain.
   bool run_next(double limit);

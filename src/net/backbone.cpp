@@ -1,0 +1,60 @@
+#include "net/backbone.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+BackboneStats merge_backbone_stats(const std::vector<BackboneStats>& links) {
+  SPECPF_EXPECTS(!links.empty());
+  // One link: hand the snapshot back untouched — re-deriving means through
+  // weighted sums is not bit-exact, and 1-shard runs must be.
+  if (links.size() == 1) return links.front();
+  BackboneStats out;
+  double sojourn_weighted = 0.0;
+  double utilization_sum = 0.0;
+  for (const BackboneStats& link : links) {
+    out.demand_jobs += link.demand_jobs;
+    out.prefetch_jobs += link.prefetch_jobs;
+    out.completed += link.completed;
+    out.total_service_demand += link.total_service_demand;
+    sojourn_weighted += link.mean_sojourn * static_cast<double>(link.completed);
+    utilization_sum += link.utilization;
+  }
+  out.mean_sojourn =
+      out.completed ? sojourn_weighted / static_cast<double>(out.completed)
+                    : 0.0;
+  out.utilization = utilization_sum / static_cast<double>(links.size());
+  return out;
+}
+
+OriginLink::OriginLink(Simulator& sim, double bandwidth)
+    : server_(sim, bandwidth) {}
+
+void OriginLink::submit(double size, bool is_prefetch) {
+  if (is_prefetch) {
+    ++prefetch_jobs_;
+  } else {
+    ++demand_jobs_;
+  }
+  server_.submit(size, [](const TransferResult&) {});
+}
+
+void OriginLink::reset_stats() {
+  server_.reset_stats();
+  demand_jobs_ = 0;
+  prefetch_jobs_ = 0;
+}
+
+BackboneStats OriginLink::stats() const {
+  const ServerStats s = server_.stats();
+  BackboneStats out;
+  out.demand_jobs = demand_jobs_;
+  out.prefetch_jobs = prefetch_jobs_;
+  out.completed = s.completed;
+  out.mean_sojourn = s.mean_sojourn;
+  out.utilization = s.utilization;
+  out.total_service_demand = s.total_service_demand;
+  return out;
+}
+
+}  // namespace specpf

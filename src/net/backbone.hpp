@@ -1,0 +1,68 @@
+// Shared-origin / backbone link model for the sharded runtime.
+//
+// In the sharded topology each shard is a region: its users hit the
+// regional proxy link (the shard's PsServer), and every retrieval for an
+// item whose *home* region is elsewhere additionally loads the backbone —
+// the job is replayed onto the home region's origin uplink after the
+// cross-region latency. This is the network the paper's question is about
+// at datacenter scale: speculative prefetching converts user-perceived
+// latency into extra backbone/origin load, and the OriginLink is where that
+// conversion becomes measurable (demand vs prefetch split, utilization,
+// sojourn under processor sharing).
+//
+// Origin traffic is accounting-plane: completions update statistics but do
+// not gate the user-facing fetch (the regional proxy serves it), so the
+// unsharded dynamics are untouched and a 1-shard run stays bit-identical
+// to the unsharded stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ps_server.hpp"
+
+namespace specpf {
+
+/// Aggregate backbone measurements (per origin link, or merged across the
+/// fleet in canonical shard order).
+struct BackboneStats {
+  std::uint64_t demand_jobs = 0;    ///< cross-shard demand fetches submitted
+  std::uint64_t prefetch_jobs = 0;  ///< cross-shard prefetches submitted
+  std::uint64_t completed = 0;      ///< transfers finished by the horizon
+  double mean_sojourn = 0.0;        ///< per-transfer time on the uplink
+  double utilization = 0.0;         ///< busy fraction (mean across links)
+  double total_service_demand = 0.0;  ///< Σ size/bandwidth over completions
+
+  std::uint64_t jobs() const { return demand_jobs + prefetch_jobs; }
+};
+
+/// Merges per-link snapshots: counters add, mean_sojourn is weighted by
+/// completions, utilization averages across links (parallel uplinks). A
+/// single-element merge returns that element verbatim.
+BackboneStats merge_backbone_stats(const std::vector<BackboneStats>& links);
+
+/// One region's origin uplink: a processor-sharing server fed by the
+/// cross-shard mailbox deliveries for items homed in this region.
+class OriginLink {
+ public:
+  OriginLink(Simulator& sim, double bandwidth);
+
+  /// Submits a cross-shard transfer (called at delivery time).
+  void submit(double size, bool is_prefetch);
+
+  /// Clears accumulators at the warmup boundary (in-flight jobs keep
+  /// running, like the proxy link's reset).
+  void reset_stats();
+
+  /// Snapshot at the measurement horizon.
+  BackboneStats stats() const;
+
+  std::size_t active_jobs() const { return server_.active_jobs(); }
+
+ private:
+  PsServer server_;
+  std::uint64_t demand_jobs_ = 0;
+  std::uint64_t prefetch_jobs_ = 0;
+};
+
+}  // namespace specpf

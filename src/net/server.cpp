@@ -4,6 +4,26 @@
 
 namespace specpf {
 
+ServerStats merge_server_stats(const std::vector<ServerStats>& links) {
+  SPECPF_EXPECTS(!links.empty());
+  if (links.size() == 1) return links.front();
+  ServerStats out;
+  double sojourn_weighted = 0.0;
+  double utilization_sum = 0.0;
+  for (const ServerStats& link : links) {
+    out.completed += link.completed;
+    out.mean_jobs_in_system += link.mean_jobs_in_system;
+    out.total_service_demand += link.total_service_demand;
+    sojourn_weighted += link.mean_sojourn * static_cast<double>(link.completed);
+    utilization_sum += link.utilization;
+  }
+  out.mean_sojourn =
+      out.completed ? sojourn_weighted / static_cast<double>(out.completed)
+                    : 0.0;
+  out.utilization = utilization_sum / static_cast<double>(links.size());
+  return out;
+}
+
 Server::Server(Simulator& sim, double bandwidth)
     : sim_(sim), bandwidth_(bandwidth) {
   SPECPF_EXPECTS(bandwidth > 0.0);

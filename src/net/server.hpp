@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "des/inline_function.hpp"
 #include "des/simulator.hpp"
@@ -36,6 +37,13 @@ struct ServerStats {
   double utilization = 0.0;        ///< busy-time fraction
   double total_service_demand = 0.0;  ///< Σ size/b over completed jobs
 };
+
+/// Merges snapshots of parallel links (one per shard): completions and
+/// service demand add, mean_sojourn is completion-weighted, utilization
+/// averages across links, mean_jobs_in_system sums (total concurrent jobs
+/// fleet-wide). A single-element merge returns that element verbatim so
+/// 1-shard results stay bit-identical to the unsharded path.
+ServerStats merge_server_stats(const std::vector<ServerStats>& links);
 
 class Server {
  public:

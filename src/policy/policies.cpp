@@ -114,4 +114,39 @@ std::string AdaptiveCostPolicy::name() const {
   return os.str();
 }
 
+std::unique_ptr<PrefetchPolicy> make_policy_by_name(const std::string& name) {
+  auto suffix_value = [&name](const char* prefix, double* out) {
+    const std::size_t len = std::string(prefix).size();
+    if (name.rfind(prefix, 0) != 0 || name.size() <= len) return false;
+    try {
+      *out = std::stod(name.substr(len));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  };
+  if (name == "none") return std::make_unique<NoPrefetchPolicy>();
+  if (name == "threshold-a") {
+    return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+  }
+  if (name == "threshold-b") {
+    return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelB);
+  }
+  double v = 0.0;
+  if (suffix_value("fixed-", &v)) {
+    return std::make_unique<FixedThresholdPolicy>(v);
+  }
+  if (suffix_value("topk-", &v)) {
+    return std::make_unique<TopKPolicy>(static_cast<std::size_t>(v));
+  }
+  if (suffix_value("adaptive-", &v)) {
+    return std::make_unique<AdaptiveCostPolicy>(v);
+  }
+  if (suffix_value("qos-", &v)) {
+    return std::make_unique<QosThresholdPolicy>(
+        core::InteractionModel::kModelA, v);
+  }
+  return nullptr;
+}
+
 }  // namespace specpf

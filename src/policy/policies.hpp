@@ -115,4 +115,10 @@ class AdaptiveCostPolicy final : public PrefetchPolicy {
   double network_weight_;
 };
 
+/// Fresh policy instance by CLI-friendly name: none, threshold-a,
+/// threshold-b, fixed-<theta>, topk-<k>, adaptive-<w>, qos-<rho>. Returns
+/// nullptr for unknown names. Shared by the examples and the sharded
+/// driver's per-shard factories so name→policy mappings cannot drift.
+std::unique_ptr<PrefetchPolicy> make_policy_by_name(const std::string& name);
+
 }  // namespace specpf

@@ -1,0 +1,294 @@
+#include "shard/sharded_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "des/simulator.hpp"
+#include "shard/mailbox.hpp"
+#include "sim/stack_runtime.hpp"
+#include "util/contract.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace specpf {
+
+void ShardedReplayConfig::validate() const {
+  stack.validate();
+  SPECPF_EXPECTS(num_shards >= 1);
+  SPECPF_EXPECTS(backbone_latency > 0.0);
+  SPECPF_EXPECTS(backbone_bandwidth > 0.0);
+}
+
+// One region: an independent engine plus its data plane. `runtime` is null
+// for shards that own no trace records (they can still receive backbone
+// traffic for items homed there, so the engine and origin link exist
+// regardless).
+struct ShardedSim::Shard {
+  explicit Shard(std::size_t num_shards) : outbox(num_shards) {}
+
+  std::uint32_t id = 0;
+  Simulator sim;
+  std::unique_ptr<Predictor> predictor;
+  std::unique_ptr<PrefetchPolicy> policy;
+  std::unique_ptr<OriginLink> origin;
+  std::unique_ptr<StackRuntime> runtime;
+  ShardMailbox outbox;
+  ServerStats horizon;
+  BackboneStats backbone_horizon;
+};
+
+namespace {
+
+/// Shard s > 0 draws a counter-based stream off the root seed; shard 0
+/// inherits the root itself so a 1-shard run is bit-identical to the
+/// unsharded run_trace_replay with the same config.
+std::uint64_t shard_seed(std::uint64_t root_seed, std::uint32_t shard) {
+  if (shard == 0) return root_seed;
+  return Rng(root_seed).substream(shard).next_u64();
+}
+
+}  // namespace
+
+ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
+                       const PolicyFactory& make_policy)
+    : config_(config) {
+  config.validate();
+  SPECPF_EXPECTS(!trace.empty());
+  SPECPF_EXPECTS(trace.is_time_ordered());
+  SPECPF_EXPECTS(static_cast<bool>(make_policy));
+
+  const std::size_t S = config.num_shards;
+  const std::vector<Trace> parts = trace.partition_by_user(S);
+
+  // Warmup/horizon instants come from the *global* trace so every shard
+  // switches measurement on at the same simulated time, exactly where the
+  // unsharded replay would.
+  const double t0 = trace.records().front().time;
+  const double end_time = trace.records().back().time - t0;
+  const std::size_t warmup_records = static_cast<std::size_t>(
+      config.stack.warmup_fraction * static_cast<double>(trace.size()));
+  const double warmup_time =
+      warmup_records > 0 ? trace.records()[warmup_records].time - t0 : 0.0;
+  // Per-shard count of records inside the global warmup prefix: shard s's
+  // subtrace index warmup_cut[s] is the first record at-or-after the global
+  // warmup boundary, preserving the unsharded insertion order around it.
+  std::vector<std::size_t> warmup_cut(S, 0);
+  for (std::size_t i = 0; i < warmup_records; ++i) {
+    ++warmup_cut[shard_of_user(trace.records()[i].user, S)];
+  }
+
+  shards_.reserve(S);
+  for (std::uint32_t s = 0; s < S; ++s) {
+    auto shard = std::make_unique<Shard>(S);
+    shard->id = s;
+    shard->origin =
+        std::make_unique<OriginLink>(shard->sim, config.backbone_bandwidth);
+
+    const Trace& part = parts[s];
+    if (part.empty()) {
+      // No users here; the origin link still serves remote-homed items.
+      if (warmup_records > 0) {
+        OriginLink* origin = shard->origin.get();
+        shard->sim.schedule_at(warmup_time,
+                               [origin] { origin->reset_stats(); });
+      }
+      shard->sim.schedule_at(end_time, [raw = shard.get()] {
+        raw->backbone_horizon = raw->origin->stats();
+      });
+      shards_.push_back(std::move(shard));
+      continue;
+    }
+
+    // Densify this shard's user ids (first-appearance order), mirroring the
+    // unsharded replay.
+    FlatHashMap<UserId> user_index;
+    for (const auto& r : part.records()) {
+      bool inserted = false;
+      UserId& dense = user_index.get_or_insert(r.user, &inserted);
+      if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
+    }
+
+    shard->predictor = make_replay_predictor(config.stack.predictor_kind);
+    shard->policy = make_policy();
+    if (policy_name_.empty()) policy_name_ = shard->policy->name();
+
+    StackRuntimeConfig rt;
+    rt.bandwidth = config.stack.bandwidth;
+    rt.item_size = config.stack.item_size;
+    rt.num_users = user_index.size();
+    rt.cache_capacity = config.stack.cache_capacity;
+    rt.cache_kind = static_cast<int>(config.stack.cache_kind);
+    rt.estimator_model = config.stack.estimator_model;
+    rt.max_prefetch_per_request = config.stack.max_prefetch_per_request;
+    rt.seed = shard_seed(config.stack.seed, s);
+    rt.lambda_prior = std::max(1e-9, part.mean_request_rate());
+    rt.use_tree_inflight = config.stack.use_tree_inflight;
+    if (S > 1) {
+      // Cross-shard traffic capture. Thread-local by construction: the
+      // observer only appends to this shard's own outbox.
+      Shard* raw = shard.get();
+      rt.retrieval_observer = [raw, S](UserId, ItemId item, bool is_prefetch) {
+        const std::uint32_t dst = home_shard(item, S);
+        if (dst == raw->id) return;
+        raw->outbox.push(dst, {raw->sim.now(), item, is_prefetch});
+      };
+    }
+    shard->runtime = std::make_unique<StackRuntime>(
+        shard->sim, *shard->predictor, *shard->policy, rt);
+
+    // Schedule the shard's whole subtrace before the first pop so it lands
+    // in the engine's O(1)-pop sorted tier.
+    std::size_t index = 0;
+    StackRuntime* runtime = shard->runtime.get();
+    OriginLink* origin = shard->origin.get();
+    for (const auto& r : part.records()) {
+      const UserId user = *user_index.find(r.user);
+      const double when = r.time - t0;
+      SPECPF_EXPECTS(when >= 0.0);
+      if (warmup_records > 0 && index == warmup_cut[s]) {
+        shard->sim.schedule_at(warmup_time, [runtime, origin] {
+          runtime->begin_measurement();
+          origin->reset_stats();
+        });
+      }
+      shard->sim.schedule_at(when, [runtime, user, item = r.item] {
+        runtime->handle_request(user, item);
+      });
+      ++index;
+    }
+    if (warmup_records > 0 && warmup_cut[s] == part.size()) {
+      shard->sim.schedule_at(warmup_time, [runtime, origin] {
+        runtime->begin_measurement();
+        origin->reset_stats();
+      });
+    }
+    if (warmup_records == 0) shard->runtime->begin_measurement();
+
+    shard->sim.schedule_at(end_time, [raw = shard.get()] {
+      raw->horizon = raw->runtime->snapshot_server();
+      raw->backbone_horizon = raw->origin->stats();
+    });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSim::~ShardedSim() = default;
+
+double ShardedSim::fleet_next_event_time() {
+  double t_min = std::numeric_limits<double>::infinity();
+  for (auto& shard : shards_) {
+    t_min = std::min(t_min, shard->sim.next_event_time());
+  }
+  return t_min;
+}
+
+void ShardedSim::run_epoch(double epoch_end) {
+  if (!pool_) {
+    for (auto& shard : shards_) shard->sim.run_until(epoch_end);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    tasks.emplace_back(
+        [raw = shard.get(), epoch_end] { raw->sim.run_until(epoch_end); });
+  }
+  auto futures = pool_->submit_batch(std::move(tasks));
+  for (auto& f : futures) f.get();
+}
+
+void ShardedSim::exchange_mailboxes() {
+  const std::size_t S = shards_.size();
+  if (S == 1) return;
+  const double latency = config_.backbone_latency;
+  const double size = config_.stack.item_size;
+  // Destination-major, source 0..S-1: the canonical order that pins the
+  // destination engine's insertion sequence numbers (and hence the whole
+  // run) independent of worker thread count.
+  for (std::size_t dst = 0; dst < S; ++dst) {
+    Shard& d = *shards_[dst];
+    OriginLink* origin = d.origin.get();
+    for (std::size_t src = 0; src < S; ++src) {
+      std::vector<RemoteFetch>& row = shards_[src]->outbox.row(dst);
+      for (const RemoteFetch& f : row) {
+        ++cross_shard_events_;
+        d.sim.schedule_at(f.send_time + latency,
+                          [origin, size, pf = f.is_prefetch] {
+                            origin->submit(size, pf);
+                          });
+      }
+      row.clear();
+    }
+  }
+}
+
+ShardedReplayResult ShardedSim::run() {
+  SPECPF_EXPECTS(!ran_);
+  ran_ = true;
+
+  const std::size_t threads = config_.num_threads == 0
+                                  ? std::max<std::size_t>(
+                                        1, std::thread::hardware_concurrency())
+                                  : config_.num_threads;
+  if (threads > 1 && shards_.size() > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min(threads, shards_.size()));
+  }
+
+  // Conservative epoch loop. Lookahead = backbone latency: every event a
+  // shard emits during [t_min, t_min + L) is delivered at send + L >=
+  // t_min + L, i.e. never inside a window anyone already executed. Epochs
+  // are anchored at the fleet-wide earliest pending event, which also
+  // fast-forwards through idle stretches instead of spinning fixed-width
+  // windows over them.
+  const double lookahead = config_.backbone_latency;
+  for (;;) {
+    const double t_min = fleet_next_event_time();
+    if (!std::isfinite(t_min)) break;
+    run_epoch(t_min + lookahead);
+    ++epochs_;
+    exchange_mailboxes();
+  }
+
+  // Merge in canonical shard order (0..S-1), on this thread.
+  ShardedReplayResult out;
+  out.num_shards = shards_.size();
+  out.epochs = epochs_;
+  out.cross_shard_events = cross_shard_events_;
+  SimMetrics merged_metrics;
+  StackAggregates merged_agg;
+  std::vector<ServerStats> horizons;
+  std::vector<BackboneStats> backbones;
+  horizons.reserve(shards_.size());
+  backbones.reserve(shards_.size());
+  out.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    backbones.push_back(shard->backbone_horizon);
+    if (!shard->runtime) {  // userless shard: origin accounting only
+      out.per_shard.emplace_back();
+      out.per_shard.back().policy = policy_name_;
+      continue;
+    }
+    merged_metrics.merge(shard->runtime->metrics());
+    merged_agg.merge(shard->runtime->aggregates());
+    horizons.push_back(shard->horizon);
+    out.per_shard.push_back(shard->runtime->finalize(shard->horizon,
+                                                     policy_name_));
+  }
+  out.merged = assemble_stack_result(merged_metrics,
+                                     merge_server_stats(horizons), merged_agg,
+                                     policy_name_);
+  out.backbone = merge_backbone_stats(backbones);
+  return out;
+}
+
+ShardedReplayResult run_sharded_replay(const Trace& trace,
+                                       const ShardedReplayConfig& config,
+                                       const PolicyFactory& make_policy) {
+  ShardedSim sim(trace, config, make_policy);
+  return sim.run();
+}
+
+}  // namespace specpf

@@ -1,0 +1,123 @@
+// Sharded multi-server simulation: S regions, each owning an independent
+// slab Simulator + StackRuntime data plane, synchronized with conservative
+// epoch barriers and exchanging cross-shard traffic through mailboxes.
+//
+// Topology. Users are partitioned across shards (shard of user u is
+// u % S); items have a home shard (item % S). Every user request is served
+// by the regional proxy stack exactly as in the unsharded runtime; any
+// retrieval whose item is homed elsewhere additionally contributes a
+// backbone job on the home region's origin uplink (net/backbone.hpp),
+// delivered after the cross-region latency.
+//
+// Synchronization. Conservative epochs with lookahead L = backbone_latency,
+// the minimum cross-shard delay: every epoch runs each shard to
+// t_min + L, where t_min is the earliest pending event fleet-wide, so no
+// shard can receive a cross-shard event timestamped inside the window it
+// already executed. Mailboxes are drained at the barrier in canonical
+// order (destination-major, source 0..S-1) and bulk-scheduled into the
+// destination engine.
+//
+// Determinism. Results are bit-identical regardless of worker thread
+// count: each shard's RNG stream is counter-derived from the root seed,
+// shards only touch their own state between barriers, and every merge
+// (mailboxes, SimMetrics via RunningStats::merge, ServerStats, backbone
+// stats) happens in canonical shard order on the driver thread. A 1-shard
+// run is bit-identical to the unsharded run_trace_replay path: shard 0
+// inherits the root seed, mailboxes stay empty, and result assembly goes
+// through the same assemble_stack_result arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "net/backbone.hpp"
+#include "sim/trace_replay.hpp"
+
+namespace specpf {
+
+class ThreadPool;
+
+struct ShardedReplayConfig {
+  /// Per-shard stack configuration (bandwidth is per regional link; the
+  /// seed is the root seed shard streams derive from).
+  TraceReplayConfig stack;
+  std::size_t num_shards = 1;
+  /// Worker threads driving shards between barriers; 0 means
+  /// hardware_concurrency, 1 runs the epoch loop serially.
+  std::size_t num_threads = 1;
+  /// Minimum cross-shard delivery latency — also the epoch lookahead.
+  double backbone_latency = 0.05;
+  /// Bandwidth of each region's origin uplink.
+  double backbone_bandwidth = 1000.0;
+
+  void validate() const;
+};
+
+struct ShardedReplayResult {
+  /// Fleet-wide result, merged in canonical shard order.
+  ProxySimResult merged;
+  /// Cross-shard traffic at the measurement horizon (all zero when S = 1).
+  BackboneStats backbone;
+  /// Per-shard results, index = shard id.
+  std::vector<ProxySimResult> per_shard;
+  std::size_t num_shards = 1;
+  std::uint64_t epochs = 0;
+  std::uint64_t cross_shard_events = 0;
+};
+
+/// Creates one fresh policy instance per shard (policies may carry state,
+/// so shards cannot share one).
+using PolicyFactory = std::function<std::unique_ptr<PrefetchPolicy>()>;
+
+class ShardedSim {
+ public:
+  /// Partitions `trace` (time-ordered, borrowed for the lifetime of the
+  /// object) and builds the per-shard engines. All scheduling happens here,
+  /// before the first pop, so each shard's trace lands in its engine's
+  /// O(1)-pop sorted tier.
+  ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
+             const PolicyFactory& make_policy);
+  ~ShardedSim();
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  /// Runs the epoch loop to completion and merges results. Call once.
+  ShardedReplayResult run();
+
+  static std::uint32_t shard_of_user(std::uint32_t user, std::size_t shards) {
+    return static_cast<std::uint32_t>(user % shards);
+  }
+  static std::uint32_t home_shard(ItemId item, std::size_t shards) {
+    return static_cast<std::uint32_t>(item % shards);
+  }
+
+ private:
+  struct Shard;
+
+  /// Runs every shard to `epoch_end` (serially or on the pool).
+  void run_epoch(double epoch_end);
+  /// Drains all mailboxes into destination engines, canonical order.
+  void exchange_mailboxes();
+  /// Earliest pending event across the fleet (+inf when drained).
+  double fleet_next_event_time();
+
+  ShardedReplayConfig config_;
+  std::string policy_name_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t cross_shard_events_ = 0;
+  bool ran_ = false;
+};
+
+/// Convenience wrapper: construct, run, return.
+ShardedReplayResult run_sharded_replay(const Trace& trace,
+                                       const ShardedReplayConfig& config,
+                                       const PolicyFactory& make_policy);
+
+}  // namespace specpf

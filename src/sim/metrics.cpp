@@ -34,6 +34,16 @@ double SimMetrics::retrievals_per_request() const {
   return safe_div(total, static_cast<double>(requests_), 0.0);
 }
 
+void SimMetrics::merge(const SimMetrics& other) {
+  access_times_.merge(other.access_times_);
+  demand_sojourns_.merge(other.demand_sojourns_);
+  prefetch_sojourns_.merge(other.prefetch_sojourns_);
+  inflight_waits_.merge(other.inflight_waits_);
+  requests_ += other.requests_;
+  hits_ += other.hits_;
+  wasted_prefetches_ += other.wasted_prefetches_;
+}
+
 void SimMetrics::reset() {
   access_times_.reset();
   demand_sojourns_.reset();

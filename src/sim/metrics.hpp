@@ -59,6 +59,13 @@ class SimMetrics {
 
   void reset();
 
+  /// Folds another accumulator in (Chan merge on the RunningStats members,
+  /// exact sums on the counters). Merging shard metrics in canonical shard
+  /// order keeps results bit-deterministic regardless of how many threads
+  /// produced them; merging into a default-constructed SimMetrics copies
+  /// `other` verbatim, so a 1-shard merge is bit-identical to no merge.
+  void merge(const SimMetrics& other);
+
  private:
   void record_access(double access_time, bool hit);
 

@@ -111,6 +111,9 @@ void StackRuntime::flush_pending_prefetches(UserId user) {
 
 void StackRuntime::submit_retrieval(UserId user, ItemId item,
                                     bool is_prefetch) {
+  if (config_.retrieval_observer) {
+    config_.retrieval_observer(user, item, is_prefetch);
+  }
   inflight_.get_or_insert(inflight_key(user, item)).is_prefetch = is_prefetch;
   if (!is_prefetch) ++demand_inflight_[user];
   server_.submit(config_.item_size, [this, user, item,
@@ -211,38 +214,54 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
   }
 }
 
-ProxySimResult StackRuntime::finalize(const ServerStats& horizon_stats,
-                                      std::string policy_name) const {
+StackAggregates StackRuntime::aggregates() const {
+  StackAggregates agg;
+  for (const auto& cache : caches_) {
+    agg.hprime_sum +=
+        config_.estimator_model == core::InteractionModel::kModelA
+            ? cache->estimate_model_a()
+            : cache->estimate_model_b();
+    agg.prefetch_inserts += cache->prefetch_inserts();
+    agg.prefetch_first_uses += cache->prefetch_first_uses();
+  }
+  agg.wasted_evictions = wasted_evictions_;
+  agg.num_users = caches_.size();
+  return agg;
+}
+
+ProxySimResult assemble_stack_result(const SimMetrics& metrics,
+                                     const ServerStats& horizon_stats,
+                                     const StackAggregates& aggregates,
+                                     std::string policy_name) {
   ProxySimResult out;
   out.policy = std::move(policy_name);
-  out.mean_access_time = metrics_.mean_access_time();
-  out.access_time_std_error = metrics_.access_time_stats().std_error();
-  out.hit_ratio = metrics_.hit_ratio();
+  out.mean_access_time = metrics.mean_access_time();
+  out.access_time_std_error = metrics.access_time_stats().std_error();
+  out.hit_ratio = metrics.hit_ratio();
   out.server_utilization = horizon_stats.utilization;
-  out.retrieval_time_per_request = metrics_.retrieval_time_per_request();
-  out.retrievals_per_request = metrics_.retrievals_per_request();
-  out.requests = metrics_.requests();
-  out.demand_jobs = metrics_.demand_retrievals();
-  out.prefetch_jobs = metrics_.prefetch_retrievals();
-  out.wasted_prefetch_evictions = wasted_evictions_;
-  out.inflight_hits = metrics_.inflight_hits();
-  out.mean_inflight_wait = metrics_.mean_inflight_wait();
-  out.mean_demand_sojourn = metrics_.mean_demand_sojourn();
-
-  double h_sum = 0.0;
-  std::uint64_t inserts = 0, first_uses = 0;
-  for (const auto& cache : caches_) {
-    h_sum += config_.estimator_model == core::InteractionModel::kModelA
-                 ? cache->estimate_model_a()
-                 : cache->estimate_model_b();
-    inserts += cache->prefetch_inserts();
-    first_uses += cache->prefetch_first_uses();
-  }
-  out.hprime_estimate = h_sum / static_cast<double>(caches_.size());
+  out.retrieval_time_per_request = metrics.retrieval_time_per_request();
+  out.retrievals_per_request = metrics.retrievals_per_request();
+  out.requests = metrics.requests();
+  out.demand_jobs = metrics.demand_retrievals();
+  out.prefetch_jobs = metrics.prefetch_retrievals();
+  out.wasted_prefetch_evictions = aggregates.wasted_evictions;
+  out.inflight_hits = metrics.inflight_hits();
+  out.mean_inflight_wait = metrics.mean_inflight_wait();
+  out.mean_demand_sojourn = metrics.mean_demand_sojourn();
+  out.hprime_estimate =
+      aggregates.hprime_sum / static_cast<double>(aggregates.num_users);
   out.prefetch_useful_fraction =
-      inserts ? static_cast<double>(first_uses) / static_cast<double>(inserts)
-              : 0.0;
+      aggregates.prefetch_inserts
+          ? static_cast<double>(aggregates.prefetch_first_uses) /
+                static_cast<double>(aggregates.prefetch_inserts)
+          : 0.0;
   return out;
+}
+
+ProxySimResult StackRuntime::finalize(const ServerStats& horizon_stats,
+                                      std::string policy_name) const {
+  return assemble_stack_result(metrics_, horizon_stats, aggregates(),
+                               std::move(policy_name));
 }
 
 }  // namespace specpf

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,7 +43,43 @@ struct StackRuntimeConfig {
   /// hash — the byte-identical reference backend for differential tests and
   /// the perf_stack baseline.
   bool use_tree_inflight = false;
+  /// Observer fired on every retrieval submission (demand and prefetch),
+  /// at submission time, after the job entered the local link. Pure
+  /// observation: installing it never changes runtime behaviour. The
+  /// sharded driver uses it to record cross-shard traffic into mailboxes;
+  /// leave empty (the default) everywhere else.
+  std::function<void(UserId user, ItemId item, bool is_prefetch)>
+      retrieval_observer;
 };
+
+/// Cache-derived aggregates a frontend needs to assemble a ProxySimResult.
+/// Summable across shards: all fields are exact sums, so merging in
+/// canonical shard order is bit-deterministic, and merging a single shard
+/// into a zero-initialized struct is the identity.
+struct StackAggregates {
+  double hprime_sum = 0.0;  ///< Σ per-user ĥ' estimates
+  std::uint64_t prefetch_inserts = 0;
+  std::uint64_t prefetch_first_uses = 0;
+  std::uint64_t wasted_evictions = 0;
+  std::uint64_t num_users = 0;
+
+  void merge(const StackAggregates& other) {
+    hprime_sum += other.hprime_sum;
+    prefetch_inserts += other.prefetch_inserts;
+    prefetch_first_uses += other.prefetch_first_uses;
+    wasted_evictions += other.wasted_evictions;
+    num_users += other.num_users;
+  }
+};
+
+/// Assembles the user-facing result from measured pieces. Shared by
+/// StackRuntime::finalize (one runtime) and the sharded driver (metrics and
+/// aggregates merged across shards) so both paths compute every derived
+/// quantity with identical arithmetic.
+ProxySimResult assemble_stack_result(const SimMetrics& metrics,
+                                     const ServerStats& horizon_stats,
+                                     const StackAggregates& aggregates,
+                                     std::string policy_name);
 
 class StackRuntime {
  public:
@@ -69,6 +106,9 @@ class StackRuntime {
 
   PsServer& server() { return server_; }
   const SimMetrics& metrics() const { return metrics_; }
+
+  /// Cache-derived sums for result assembly and cross-shard merging.
+  StackAggregates aggregates() const;
 
  private:
   struct Inflight {

@@ -18,8 +18,7 @@ void TraceReplayConfig::validate() const {
   SPECPF_EXPECTS(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
 }
 
-namespace {
-std::unique_ptr<Predictor> make_predictor(
+std::unique_ptr<Predictor> make_replay_predictor(
     TraceReplayConfig::PredictorKind kind) {
   switch (kind) {
     case TraceReplayConfig::PredictorKind::kMarkov:
@@ -34,7 +33,6 @@ std::unique_ptr<Predictor> make_predictor(
   SPECPF_ASSERT(false && "unreachable");
   return nullptr;
 }
-}  // namespace
 
 ProxySimResult run_trace_replay(const Trace& trace,
                                 const TraceReplayConfig& config,
@@ -52,7 +50,7 @@ ProxySimResult run_trace_replay(const Trace& trace,
     if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
   }
 
-  auto predictor = make_predictor(config.predictor_kind);
+  auto predictor = make_replay_predictor(config.predictor_kind);
 
   StackRuntimeConfig runtime_config;
   runtime_config.bandwidth = config.bandwidth;

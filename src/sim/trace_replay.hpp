@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "policy/policy.hpp"
+#include "predict/predictor.hpp"
 #include "sim/proxy_sim.hpp"
 #include "workload/trace.hpp"
 
@@ -50,5 +52,10 @@ struct TraceReplayConfig {
 ProxySimResult run_trace_replay(const Trace& trace,
                                 const TraceReplayConfig& config,
                                 PrefetchPolicy& policy);
+
+/// Fresh predictor instance for a replay kind — shared with the sharded
+/// driver, which needs one independent predictor per shard.
+std::unique_ptr<Predictor> make_replay_predictor(
+    TraceReplayConfig::PredictorKind kind);
 
 }  // namespace specpf

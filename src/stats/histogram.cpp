@@ -31,6 +31,15 @@ void Histogram::add(double x) noexcept {
   ++bins_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+  SPECPF_EXPECTS(lo_ == other.lo_ && hi_ == other.hi_ &&
+                 bins_.size() == other.bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 double Histogram::quantile(double q) const {
   SPECPF_EXPECTS(q >= 0.0 && q <= 1.0);
   if (count_ == 0) return lo_;
@@ -82,6 +91,12 @@ void LogHistogram::add(double x) noexcept {
   if (exp < min_exp_) exp = min_exp_;
   if (exp > max_exp_) exp = max_exp_;
   ++bins_[static_cast<std::size_t>(exp - min_exp_)];
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  SPECPF_EXPECTS(min_exp_ == other.min_exp_ && max_exp_ == other.max_exp_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
 }
 
 double LogHistogram::quantile(double q) const {

@@ -17,6 +17,11 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Combines another histogram with identical binning (same lo/hi/bins —
+  /// checked). Bin counts add exactly, so merging per-shard histograms in
+  /// any fixed order reproduces the single-accumulator result bit-for-bit.
+  void merge(const Histogram& other);
+
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
@@ -47,6 +52,10 @@ class LogHistogram {
   LogHistogram(int min_exp = -20, int max_exp = 40);
 
   void add(double x) noexcept;
+
+  /// Combines another histogram with an identical exponent range (checked).
+  void merge(const LogHistogram& other);
+
   std::uint64_t count() const noexcept { return count_; }
   double quantile(double q) const;
 

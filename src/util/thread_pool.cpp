@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    MoveOnlyTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });

@@ -1,19 +1,61 @@
-// Fixed-size thread pool used to parallelise benchmark sweeps and
-// multi-replication experiments. Simulations themselves are single-threaded
-// and deterministic; parallelism lives strictly at the sweep level, which is
-// embarrassingly parallel (one independent simulation per grid point).
+// Fixed-size thread pool used to parallelise benchmark sweeps,
+// multi-replication experiments, and the sharded simulation driver
+// (one shard per task between epoch barriers). Individual simulations are
+// single-threaded and deterministic; parallelism lives strictly at the
+// sweep/shard level, where units of work are independent.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace specpf {
+
+/// Type-erased move-only nullary callable. std::function requires copyable
+/// targets, which forced submit() to wrap every packaged_task in a
+/// shared_ptr; this wrapper holds move-only callables directly, so a task
+/// costs exactly one allocation (the callable itself).
+class MoveOnlyTask {
+ public:
+  MoveOnlyTask() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, MoveOnlyTask> &&
+                                        std::is_invocable_v<D&>>>
+  MoveOnlyTask(F&& fn)  // NOLINT(runtime/explicit)
+      : impl_(std::make_unique<Model<D>>(std::forward<F>(fn))) {}
+
+  MoveOnlyTask(MoveOnlyTask&&) noexcept = default;
+  MoveOnlyTask& operator=(MoveOnlyTask&&) noexcept = default;
+  MoveOnlyTask(const MoveOnlyTask&) = delete;
+  MoveOnlyTask& operator=(const MoveOnlyTask&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  /// Invokes the stored callable. Precondition: non-empty.
+  void operator()() { impl_->call(); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename D>
+  struct Model final : Concept {
+    explicit Model(D fn) : fn(std::move(fn)) {}
+    void call() override { fn(); }
+    D fn;
+  };
+  std::unique_ptr<Concept> impl_;
+};
 
 class ThreadPool {
  public:
@@ -28,14 +70,36 @@ class ThreadPool {
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> result = task->get_future();
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> result = task.get_future();
     {
       std::lock_guard lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
+      tasks_.emplace(std::move(task));
     }
     cv_.notify_one();
     return result;
+  }
+
+  /// Enqueues a whole batch under one lock acquisition and wakes every
+  /// worker at once — the shard driver submits S epoch tasks per barrier,
+  /// so per-task lock/notify traffic would otherwise dominate short epochs.
+  /// Returns one future per task, in order.
+  template <typename F>
+  auto submit_batch(std::vector<F> fns)
+      -> std::vector<std::future<std::invoke_result_t<F&>>> {
+    using R = std::invoke_result_t<F&>;
+    std::vector<std::future<R>> results;
+    results.reserve(fns.size());
+    {
+      std::lock_guard lock(mutex_);
+      for (auto& fn : fns) {
+        std::packaged_task<R()> task(std::move(fn));
+        results.push_back(task.get_future());
+        tasks_.emplace(std::move(task));
+      }
+    }
+    if (!results.empty()) cv_.notify_all();
+    return results;
   }
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -44,7 +108,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<MoveOnlyTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

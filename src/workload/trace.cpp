@@ -64,6 +64,21 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::item_counts()
   return out;
 }
 
+std::vector<Trace> Trace::partition_by_user(std::size_t num_shards) const {
+  SPECPF_EXPECTS(num_shards >= 1);
+  std::vector<std::vector<TraceRecord>> parts(num_shards);
+  // Pre-size each shard: a second pass over headers is far cheaper than
+  // push_back growth on million-record traces.
+  std::vector<std::size_t> counts(num_shards, 0);
+  for (const auto& r : records_) ++counts[r.user % num_shards];
+  for (std::size_t s = 0; s < num_shards; ++s) parts[s].reserve(counts[s]);
+  for (const auto& r : records_) parts[r.user % num_shards].push_back(r);
+  std::vector<Trace> out;
+  out.reserve(num_shards);
+  for (auto& part : parts) out.emplace_back(std::move(part));
+  return out;
+}
+
 void Trace::save_csv(std::ostream& os) const {
   os << "time,user,item\n";
   for (const auto& r : records_) {

@@ -41,6 +41,12 @@ class Trace {
   /// Per-item request counts, indexed sparsely.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> item_counts() const;
 
+  /// Splits the trace into `num_shards` sub-traces by user (shard of user u
+  /// is u % num_shards), preserving record order within each shard — the
+  /// user→shard partitioning of the sharded runtime. Shard 0 of a 1-way
+  /// partition is the whole trace.
+  std::vector<Trace> partition_by_user(std::size_t num_shards) const;
+
   /// CSV with header "time,user,item".
   void save_csv(std::ostream& os) const;
   static Trace load_csv(std::istream& is);

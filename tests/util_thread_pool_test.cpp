@@ -1,0 +1,90 @@
+// ThreadPool: the move-only task path (no shared_ptr-per-task), batch
+// submission, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace specpf {
+namespace {
+
+TEST(MoveOnlyTask, HoldsMoveOnlyCaptures) {
+  auto value = std::make_unique<int>(41);
+  int out = 0;
+  MoveOnlyTask task([v = std::move(value), &out] { out = *v + 1; });
+  EXPECT_TRUE(static_cast<bool>(task));
+  MoveOnlyTask moved = std::move(task);
+  moved();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(7);
+  auto future = pool.submit([p = std::move(payload)] { return *p * 3; });
+  EXPECT_EQ(future.get(), 21);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitBatchRunsEveryTaskInOrderOfFutures) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::function<std::size_t()>> tasks;
+  tasks.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([i] { return i * i; });
+  }
+  auto futures = pool.submit_batch(std::move(tasks));
+  ASSERT_EQ(futures.size(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SubmitBatchOnSingleWorkerCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 10; ++i) {
+    tasks.emplace_back([&sum, i] { sum.fetch_add(i); });
+  }
+  auto futures = pool.submit_batch(std::move(tasks));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPool, EmptyBatchIsFine) {
+  ThreadPool pool(2);
+  auto futures = pool.submit_batch(std::vector<std::function<void()>>{});
+  EXPECT_TRUE(futures.empty());
+}
+
+TEST(ThreadPool, BatchTasksWithMoveOnlyState) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  // packaged_task is itself move-only — a queue of MoveOnlyTask must take
+  // it without shared_ptr wrapping.
+  for (int i = 0; i < 8; ++i) {
+    std::packaged_task<int()> t([i] { return i + 100; });
+    futures.push_back(t.get_future());
+    pool.submit([t = std::move(t)]() mutable { t(); });
+  }
+  int total = 0;
+  for (auto& f : futures) total += f.get();
+  EXPECT_EQ(total, 8 * 100 + 28);
+}
+
+}  // namespace
+}  // namespace specpf
