@@ -23,6 +23,7 @@
 #include "shard/sharded_sim.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/argparse.hpp"
+#include "util/mem.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic_trace.hpp"
 
@@ -75,6 +76,9 @@ int main(int argc, char** argv) {
   args.add_flag("backbone-latency", "0.05",
                 "cross-shard latency = epoch lookahead (s)");
   args.add_flag("seed", "2001", "random seed");
+  args.add_flag("legacy-caches", "false",
+                "run the legacy per-user TaggedCache fleet instead of the "
+                "slab-backed arena cache plane");
   if (!args.parse(argc, argv)) return 1;
 
   SyntheticTraceConfig trace_cfg;
@@ -105,13 +109,15 @@ int main(int argc, char** argv) {
   replay_cfg.predictor_kind = TraceReplayConfig::PredictorKind::kMarkov;
   replay_cfg.max_prefetch_per_request = 4;
   replay_cfg.seed = trace_cfg.seed;
+  replay_cfg.use_legacy_caches = args.get_bool("legacy-caches");
 
   Table table({"policy", "access time", "hit ratio", "rho", "demand jobs",
                "prefetch jobs", "inflight hits", "backbone jobs", "wall s",
-               "req/s"});
+               "req/s", "peak MB", "B/user"});
   table.set_precision(4);
   for (const std::string& name : split_csv(args.get_string("policy"))) {
     const PolicyFactory factory = policy_factory(name);
+    const MemoryUsage mem_before = read_memory_usage();
     t0 = Clock::now();
     ProxySimResult r;
     std::uint64_t backbone_jobs = 0;
@@ -131,14 +137,30 @@ int main(int argc, char** argv) {
       backbone_jobs = sr.backbone.jobs();
     }
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    // Runtime footprint per user: growth of the RSS high-water mark over
+    // this run (per-user caches + in-flight bookkeeping + predictor). The
+    // first policy row carries the cost; later rows mostly reuse freed
+    // pages and report the marginal growth.
+    const MemoryUsage mem_after = read_memory_usage();
+    const double run_bytes_per_user =
+        mem_after.peak_resident_bytes > mem_before.peak_resident_bytes
+            ? static_cast<double>(mem_after.peak_resident_bytes -
+                                  mem_before.peak_resident_bytes) /
+                  static_cast<double>(trace.unique_users())
+            : 0.0;
     table.add_row({r.policy, r.mean_access_time, r.hit_ratio,
                    r.server_utilization,
                    static_cast<std::int64_t>(r.demand_jobs),
                    static_cast<std::int64_t>(r.prefetch_jobs),
                    static_cast<std::int64_t>(r.inflight_hits),
                    static_cast<std::int64_t>(backbone_jobs), secs,
-                   static_cast<double>(r.requests) / secs});
+                   static_cast<double>(r.requests) / secs,
+                   static_cast<double>(mem_after.peak_resident_bytes) / 1e6,
+                   run_bytes_per_user});
   }
   std::printf("\n%s\n", table.to_markdown().c_str());
+  std::printf("cache backend: %s\n", replay_cfg.use_legacy_caches
+                                         ? "legacy TaggedCache fleet"
+                                         : "slab-backed arena plane");
   return 0;
 }

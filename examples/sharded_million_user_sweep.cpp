@@ -20,6 +20,7 @@
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
 #include "util/argparse.hpp"
+#include "util/mem.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic_trace.hpp"
 
@@ -72,6 +73,9 @@ int main(int argc, char** argv) {
   args.add_flag("backbone-latency", "0.05",
                 "cross-shard latency = epoch lookahead (s)");
   args.add_flag("seed", "2001", "random seed");
+  args.add_flag("legacy-caches", "false",
+                "run the legacy per-user TaggedCache fleet instead of the "
+                "slab-backed arena cache plane");
   if (!args.parse(argc, argv)) return 1;
 
   SyntheticTraceConfig trace_cfg;
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
   cfg.stack.predictor_kind = TraceReplayConfig::PredictorKind::kMarkov;
   cfg.stack.max_prefetch_per_request = 4;
   cfg.stack.seed = trace_cfg.seed;
+  cfg.stack.use_legacy_caches = args.get_bool("legacy-caches");
   cfg.num_shards = static_cast<std::size_t>(args.get_int("shards"));
   cfg.backbone_bandwidth = args.get_double("backbone-bandwidth");
   cfg.backbone_latency = args.get_double("backbone-latency");
@@ -107,7 +112,8 @@ int main(int argc, char** argv) {
       parse_thread_list(args.get_string("threads"));
 
   Table table({"threads", "wall s", "req/s", "speedup", "epochs",
-               "cross-shard", "backbone rho", "access time", "hit ratio"});
+               "cross-shard", "backbone rho", "access time", "hit ratio",
+               "peak MB", "B/user"});
   table.set_precision(4);
   double base_secs = 0.0;
   ShardedReplayResult reference;
@@ -115,9 +121,20 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   for (std::size_t threads : thread_counts) {
     cfg.num_threads = threads;
+    const MemoryUsage mem_before = read_memory_usage();
     t0 = Clock::now();
     const ShardedReplayResult r = run_sharded_replay(trace, cfg, factory);
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    // Fleet footprint per user: growth of the RSS high-water mark over this
+    // run (the first thread-count row carries the cost; later rows reuse
+    // freed pages and report marginal growth).
+    const MemoryUsage mem_after = read_memory_usage();
+    const double run_bytes_per_user =
+        mem_after.peak_resident_bytes > mem_before.peak_resident_bytes
+            ? static_cast<double>(mem_after.peak_resident_bytes -
+                                  mem_before.peak_resident_bytes) /
+                  static_cast<double>(trace.unique_users())
+            : 0.0;
     if (!have_reference) {
       base_secs = secs;
       reference = r;
@@ -132,11 +149,15 @@ int main(int argc, char** argv) {
                    base_secs / secs, static_cast<std::int64_t>(r.epochs),
                    static_cast<std::int64_t>(r.cross_shard_events),
                    r.backbone.utilization, r.merged.mean_access_time,
-                   r.merged.hit_ratio});
+                   r.merged.hit_ratio,
+                   static_cast<double>(mem_after.peak_resident_bytes) / 1e6,
+                   run_bytes_per_user});
   }
   std::printf("\n%s\n", table.to_markdown().c_str());
-  std::printf("%zu shards, policy=%s, determinism across thread counts: %s\n",
+  std::printf("%zu shards, policy=%s, cache backend=%s, "
+              "determinism across thread counts: %s\n",
               cfg.num_shards, args.get_string("policy").c_str(),
+              cfg.stack.use_legacy_caches ? "legacy" : "arena",
               deterministic ? "OK (bit-identical)" : "FAILED");
   return deterministic ? 0 : 1;
 }

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "core/hit_ratio_estimator.hpp"
+#include "des/inline_function.hpp"
 
 namespace specpf {
 
@@ -32,7 +32,10 @@ struct CacheStats {
 class Cache {
  public:
   /// Invoked with (item, tag) whenever an entry is evicted to make room.
-  using EvictionHook = std::function<void(ItemId, EntryTag)>;
+  /// Inline-storage (no heap per hook): captures up to 24 bytes — a couple
+  /// of pointers — which covers every hook in the tree; larger captures are
+  /// a compile error, not a silent allocation.
+  using EvictionHook = InlineFunction<void(ItemId, EntryTag), 24>;
 
   virtual ~Cache() = default;
 

@@ -1,0 +1,254 @@
+#include "cache/cache_plane.hpp"
+
+#include "util/contract.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace specpf {
+
+namespace {
+
+/// §4 protocol state of one user — everything the old TaggedCache carried
+/// besides the entries themselves, with the counters packed to 32 bits
+/// (16 bytes/user instead of 32; one user cannot plausibly issue 4 billion
+/// requests in a run — the legacy backend stores 64 bits). Arithmetic
+/// mirrors core::HitRatioEstimator / tagged_model_b_estimate expression
+/// for expression; the differential tests pin the backends bit-identical.
+struct TaggedUserState {
+  std::uint32_t naccess = 0;
+  std::uint32_t nhit = 0;
+  std::uint32_t prefetch_inserts = 0;
+  std::uint32_t prefetch_first_uses = 0;
+
+  double estimate_model_a() const {
+    return safe_div(static_cast<double>(nhit), static_cast<double>(naccess),
+                    0.0);
+  }
+
+  double estimate(core::InteractionModel model, double resident_items) const {
+    if (model == core::InteractionModel::kModelA) return estimate_model_a();
+    const double nf = safe_div(static_cast<double>(prefetch_inserts),
+                               static_cast<double>(naccess), 0.0);
+    if (resident_items <= nf) return estimate_model_a();  // tiny cache
+    return estimate_model_a() * resident_items / (resident_items - nf);
+  }
+};
+
+/// The arena backend: policy entries in shared slabs, protocol state in one
+/// flat vector. Policy is a compile-time parameter; every method below is
+/// fully monomorphic after the make_cache_plane dispatch.
+template <typename Policy>
+class ArenaCachePlane final : public CachePlane {
+ public:
+  explicit ArenaCachePlane(const CachePlaneConfig& config)
+      : policy_(config.num_users, config.capacity, config.seed),
+        users_(config.num_users) {
+    SPECPF_EXPECTS(config.num_users >= 1);
+  }
+
+  AccessOutcome access(std::uint32_t user, ItemId item) override {
+    TaggedUserState& st = users_[user];
+    const auto tag = policy_.lookup(user, item);
+    if (!tag.has_value()) {
+      ++st.naccess;  // on_cache_miss
+      return AccessOutcome::kMiss;
+    }
+    ++st.naccess;  // on_cache_hit: tagged hits count, untagged become tagged
+    if (*tag == core::EntryTag::kTagged) {
+      ++st.nhit;
+      return AccessOutcome::kHitTagged;
+    }
+    policy_.set_tag(user, item, core::EntryTag::kTagged);
+    ++st.prefetch_first_uses;
+    return AccessOutcome::kHitUntagged;
+  }
+
+  void admit_demand(std::uint32_t user, ItemId item) override {
+    insert(user, item, core::HitRatioEstimator::demand_insert_tag());
+  }
+
+  void admit_prefetch(std::uint32_t user, ItemId item) override {
+    // Re-prefetching a resident item must not downgrade its tag (§4).
+    if (policy_.contains(user, item)) return;
+    ++users_[user].prefetch_inserts;
+    insert(user, item, core::HitRatioEstimator::prefetch_insert_tag());
+  }
+
+  void admit_prefetch_accessed(std::uint32_t user, ItemId item) override {
+    ++users_[user].prefetch_inserts;
+    ++users_[user].prefetch_first_uses;
+    insert(user, item, core::HitRatioEstimator::demand_insert_tag());
+  }
+
+  bool contains(std::uint32_t user, ItemId item) const override {
+    return policy_.contains(user, item);
+  }
+
+  std::size_t size(std::uint32_t user) const override {
+    return policy_.size(user);
+  }
+
+  double estimate(std::uint32_t user,
+                  core::InteractionModel model) const override {
+    return users_[user].estimate(model,
+                                 static_cast<double>(policy_.size(user)));
+  }
+
+  CachePlaneTotals totals(core::InteractionModel model) const override {
+    CachePlaneTotals out;
+    for (std::uint32_t u = 0; u < users_.size(); ++u) {
+      out.hprime_sum += estimate(u, model);
+      out.prefetch_inserts += users_[u].prefetch_inserts;
+      out.prefetch_first_uses += users_[u].prefetch_first_uses;
+    }
+    return out;
+  }
+
+  std::uint64_t prefetch_inserts(std::uint32_t user) const override {
+    return users_[user].prefetch_inserts;
+  }
+  std::uint64_t prefetch_first_uses(std::uint32_t user) const override {
+    return users_[user].prefetch_first_uses;
+  }
+
+  void set_eviction_observer(EvictionObserver observer) override {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  void insert(std::uint32_t user, ItemId item, core::EntryTag tag) {
+    policy_.insert(user, item, tag,
+                   [this, user](ItemId victim, core::EntryTag victim_tag) {
+                     if (observer_) observer_(user, victim, victim_tag);
+                   });
+  }
+
+  Policy policy_;
+  std::vector<TaggedUserState> users_;
+  EvictionObserver observer_;
+};
+
+/// The legacy backend: one heap TaggedCache (wrapping a virtual Cache) per
+/// user, constructed exactly as the pre-arena StackRuntime did — the
+/// differential baseline.
+class LegacyCachePlane final : public CachePlane {
+ public:
+  LegacyCachePlane(CacheKind kind, const CachePlaneConfig& config) {
+    SPECPF_EXPECTS(config.num_users >= 1);
+    Rng root(config.seed);
+    caches_.reserve(config.num_users);
+    for (std::size_t u = 0; u < config.num_users; ++u) {
+      auto inner = make_cache(kind, config.capacity,
+                              root.substream(100 + u).next_u64());
+      inner->set_eviction_hook(
+          [this, user = static_cast<std::uint32_t>(u)](ItemId item,
+                                                       core::EntryTag tag) {
+            if (observer_) observer_(user, item, tag);
+          });
+      caches_.push_back(std::make_unique<TaggedCache>(std::move(inner)));
+    }
+  }
+
+  AccessOutcome access(std::uint32_t user, ItemId item) override {
+    return caches_[user]->access(item);
+  }
+  void admit_demand(std::uint32_t user, ItemId item) override {
+    caches_[user]->admit_demand(item);
+  }
+  void admit_prefetch(std::uint32_t user, ItemId item) override {
+    caches_[user]->admit_prefetch(item);
+  }
+  void admit_prefetch_accessed(std::uint32_t user, ItemId item) override {
+    caches_[user]->admit_prefetch_accessed(item);
+  }
+  bool contains(std::uint32_t user, ItemId item) const override {
+    return caches_[user]->inner().contains(item);
+  }
+  std::size_t size(std::uint32_t user) const override {
+    return caches_[user]->inner().size();
+  }
+
+  double estimate(std::uint32_t user,
+                  core::InteractionModel model) const override {
+    return model == core::InteractionModel::kModelA
+               ? caches_[user]->estimate_model_a()
+               : caches_[user]->estimate_model_b();
+  }
+
+  CachePlaneTotals totals(core::InteractionModel model) const override {
+    CachePlaneTotals out;
+    for (std::uint32_t u = 0; u < caches_.size(); ++u) {
+      out.hprime_sum += estimate(u, model);
+      out.prefetch_inserts += caches_[u]->prefetch_inserts();
+      out.prefetch_first_uses += caches_[u]->prefetch_first_uses();
+    }
+    return out;
+  }
+
+  std::uint64_t prefetch_inserts(std::uint32_t user) const override {
+    return caches_[user]->prefetch_inserts();
+  }
+  std::uint64_t prefetch_first_uses(std::uint32_t user) const override {
+    return caches_[user]->prefetch_first_uses();
+  }
+
+  void set_eviction_observer(EvictionObserver observer) override {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  std::vector<std::unique_ptr<TaggedCache>> caches_;
+  EvictionObserver observer_;
+};
+
+}  // namespace
+
+std::unique_ptr<CachePlane> make_cache_plane(CacheKind kind,
+                                             const CachePlaneConfig& config,
+                                             bool use_legacy) {
+  if (use_legacy) {
+    return std::make_unique<LegacyCachePlane>(kind, config);
+  }
+  // The once-per-run dispatch: policy × residency mode. Small capacities
+  // take the per-user-block arenas (inline residency scan, no hash index
+  // bytes at all); larger ones the shared-slab arenas over the fleet-wide
+  // FlatIndexMap. Both are bit-identical to the legacy caches.
+  const bool small = config.capacity <= arena::kInlineResidencyCapacity;
+  switch (kind) {
+    case CacheKind::kLru:
+      return small
+                 ? std::unique_ptr<CachePlane>(
+                       std::make_unique<ArenaCachePlane<arena::SmallLruArena>>(
+                           config))
+                 : std::make_unique<ArenaCachePlane<arena::LruArena>>(config);
+    case CacheKind::kLfu:
+      return small
+                 ? std::unique_ptr<CachePlane>(
+                       std::make_unique<ArenaCachePlane<arena::SmallLfuArena>>(
+                           config))
+                 : std::make_unique<ArenaCachePlane<arena::LfuArena>>(config);
+    case CacheKind::kFifo:
+      return small
+                 ? std::unique_ptr<CachePlane>(
+                       std::make_unique<ArenaCachePlane<arena::SmallFifoArena>>(
+                           config))
+                 : std::make_unique<ArenaCachePlane<arena::FifoArena>>(config);
+    case CacheKind::kClock:
+      return small
+                 ? std::unique_ptr<CachePlane>(
+                       std::make_unique<
+                           ArenaCachePlane<arena::SmallClockArena>>(config))
+                 : std::make_unique<ArenaCachePlane<arena::ClockArena>>(config);
+    case CacheKind::kRandom:
+      return small
+                 ? std::unique_ptr<CachePlane>(
+                       std::make_unique<
+                           ArenaCachePlane<arena::SmallRandomArena>>(config))
+                 : std::make_unique<ArenaCachePlane<arena::RandomArena>>(
+                       config);
+  }
+  SPECPF_ASSERT(false && "unknown cache kind");
+  return nullptr;
+}
+
+}  // namespace specpf

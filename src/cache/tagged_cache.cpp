@@ -49,11 +49,20 @@ double TaggedCache::realized_prefetch_rate() const {
                   static_cast<double>(estimator_.accesses()), 0.0);
 }
 
+double tagged_model_b_estimate(const core::HitRatioEstimator& estimator,
+                               std::uint64_t prefetch_inserts,
+                               double resident_items) {
+  const double nf = safe_div(static_cast<double>(prefetch_inserts),
+                             static_cast<double>(estimator.accesses()), 0.0);
+  if (resident_items <= nf) {  // degenerate: tiny cache
+    return estimator.estimate_model_a();
+  }
+  return estimator.estimate_model_b(resident_items, nf);
+}
+
 double TaggedCache::estimate_model_b() const {
-  const double nc = static_cast<double>(inner_->size());
-  const double nf = realized_prefetch_rate();
-  if (nc <= nf) return estimate_model_a();  // degenerate: tiny cache
-  return estimator_.estimate_model_b(nc, nf);
+  return tagged_model_b_estimate(estimator_, prefetch_inserts_,
+                                 static_cast<double>(inner_->size()));
 }
 
 }  // namespace specpf

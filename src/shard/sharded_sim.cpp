@@ -119,12 +119,13 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
     rt.item_size = config.stack.item_size;
     rt.num_users = user_index.size();
     rt.cache_capacity = config.stack.cache_capacity;
-    rt.cache_kind = static_cast<int>(config.stack.cache_kind);
+    rt.cache_kind = config.stack.cache_kind;
     rt.estimator_model = config.stack.estimator_model;
     rt.max_prefetch_per_request = config.stack.max_prefetch_per_request;
     rt.seed = shard_seed(config.stack.seed, s);
     rt.lambda_prior = std::max(1e-9, part.mean_request_rate());
     rt.use_tree_inflight = config.stack.use_tree_inflight;
+    rt.use_legacy_caches = config.stack.use_legacy_caches;
     if (S > 1) {
       // Cross-shard traffic capture. Thread-local by construction: the
       // observer only appends to this shard's own outbox.

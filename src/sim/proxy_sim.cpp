@@ -67,13 +67,14 @@ ProxySimResult run_proxy_sim(const ProxySimConfig& config,
   runtime_config.item_size = config.item_size;
   runtime_config.num_users = config.num_users;
   runtime_config.cache_capacity = config.cache_capacity;
-  runtime_config.cache_kind = static_cast<int>(config.cache_kind);
+  runtime_config.cache_kind = config.cache_kind;
   runtime_config.estimator_model = config.estimator_model;
   runtime_config.max_prefetch_per_request = config.max_prefetch_per_request;
   runtime_config.seed = config.seed;
   runtime_config.lambda_prior =
       static_cast<double>(config.num_users) * session_len / cycle;
   runtime_config.use_tree_inflight = config.use_tree_inflight;
+  runtime_config.use_legacy_caches = config.use_legacy_caches;
 
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, runtime_config);

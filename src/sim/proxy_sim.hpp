@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/factory.hpp"
 #include "policy/policy.hpp"
 #include "sim/metrics.hpp"
 #include "workload/session_graph.hpp"
@@ -35,8 +36,9 @@ struct ProxySimConfig {
   double item_size = 1.0;              ///< size of every page (units)
 
   std::size_t cache_capacity = 64;
-  enum class CacheKind { kLru, kLfu, kFifo, kClock, kRandom } cache_kind =
-      CacheKind::kLru;
+  /// Eviction policy (the fleet-wide enum from cache/factory.hpp).
+  using CacheKind = specpf::CacheKind;
+  CacheKind cache_kind = CacheKind::kLru;
 
   enum class PredictorKind {
     kMarkov,
@@ -58,6 +60,11 @@ struct ProxySimConfig {
   /// Use the legacy std::map in-flight backend (reference for differential
   /// tests and the perf_stack baseline; the flat hash is the default).
   bool use_tree_inflight = false;
+
+  /// Use the legacy per-user TaggedCache fleet instead of the slab-backed
+  /// arena cache plane (reference for differential tests; the arena is the
+  /// default).
+  bool use_legacy_caches = false;
 
   void validate() const;
 };

@@ -2,37 +2,10 @@
 
 #include <algorithm>
 
-#include "cache/clock_cache.hpp"
-#include "cache/fifo.hpp"
-#include "cache/lfu.hpp"
-#include "cache/lru.hpp"
-#include "cache/random_cache.hpp"
 #include "sim/proxy_sim.hpp"
 #include "util/contract.hpp"
-#include "util/rng.hpp"
 
 namespace specpf {
-
-namespace {
-std::unique_ptr<Cache> make_cache(int kind, std::size_t capacity,
-                                  std::uint64_t seed) {
-  switch (kind) {
-    case 0:
-      return std::make_unique<LruCache>(capacity);
-    case 1:
-      return std::make_unique<LfuCache>(capacity);
-    case 2:
-      return std::make_unique<FifoCache>(capacity);
-    case 3:
-      return std::make_unique<ClockCache>(capacity);
-    case 4:
-      return std::make_unique<RandomCache>(capacity, seed);
-    default:
-      SPECPF_ASSERT(false && "unknown cache kind");
-      return nullptr;
-  }
-}
-}  // namespace
 
 StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
                            PrefetchPolicy& policy,
@@ -50,29 +23,25 @@ StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
   SPECPF_EXPECTS(config.num_users >= 1);
   SPECPF_EXPECTS(config.item_size > 0.0);
   SPECPF_EXPECTS(config.cache_capacity >= 1);
-  Rng root(config.seed);
-  caches_.reserve(config.num_users);
-  for (std::size_t u = 0; u < config.num_users; ++u) {
-    auto inner = make_cache(config.cache_kind, config.cache_capacity,
-                            root.substream(100 + u).next_u64());
-    inner->set_eviction_hook([this](ItemId, EntryTag tag) {
-      if (tag == EntryTag::kUntagged) {
-        ++wasted_evictions_;
-        if (measuring_) metrics_.record_wasted_prefetch();
-      }
-    });
-    caches_.push_back(std::make_unique<TaggedCache>(std::move(inner)));
-  }
+  CachePlaneConfig plane_config;
+  plane_config.num_users = config.num_users;
+  plane_config.capacity = config.cache_capacity;
+  plane_config.seed = config.seed;
+  caches_ = make_cache_plane(config.cache_kind, plane_config,
+                             config.use_legacy_caches);
+  caches_->set_eviction_observer([this](UserId, ItemId, EntryTag tag) {
+    if (tag == EntryTag::kUntagged) {
+      ++wasted_evictions_;
+      if (measuring_) metrics_.record_wasted_prefetch();
+    }
+  });
   for (std::size_t u = 0; u < config.num_users; ++u) {
     refresh_estimate(static_cast<UserId>(u));
   }
 }
 
 void StackRuntime::refresh_estimate(UserId user) {
-  const double e =
-      config_.estimator_model == core::InteractionModel::kModelA
-          ? caches_[user]->estimate_model_a()
-          : caches_[user]->estimate_model_b();
+  const double e = caches_->estimate(user, config_.estimator_model);
   estimate_sum_ += e - estimate_cache_[user];
   estimate_cache_[user] = e;
 }
@@ -103,7 +72,7 @@ void StackRuntime::flush_pending_prefetches(UserId user) {
   std::vector<ItemId> batch = std::move(pending_prefetches_[user]);
   pending_prefetches_[user].clear();
   for (ItemId item : batch) {
-    if (caches_[user]->inner().contains(item)) continue;
+    if (caches_->contains(user, item)) continue;
     if (inflight_.contains(inflight_key(user, item))) continue;
     submit_retrieval(user, item, /*is_prefetch=*/true);
   }
@@ -130,15 +99,14 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
       }
     }
     const Inflight info = inflight_.take(inflight_key(user, item));
-    TaggedCache& cache = *caches_[user];
     if (is_prefetch) {
       if (info.waiter_times.empty() && !info.demand_promoted) {
-        cache.admit_prefetch(item);
+        caches_->admit_prefetch(user, item);
       } else {
-        cache.admit_prefetch_accessed(item);
+        caches_->admit_prefetch_accessed(user, item);
       }
     } else {
-      cache.admit_demand(item);
+      caches_->admit_demand(user, item);
     }
     refresh_estimate(user);
     if (measuring_) {
@@ -160,10 +128,9 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
 }
 
 void StackRuntime::handle_request(UserId user, ItemId item) {
-  SPECPF_EXPECTS(user < caches_.size());
+  SPECPF_EXPECTS(user < config_.num_users);
   ++total_requests_;
-  TaggedCache& cache = *caches_[user];
-  switch (cache.access(item)) {
+  switch (caches_->access(user, item)) {
     case AccessOutcome::kHitTagged:
     case AccessOutcome::kHitUntagged:
       if (measuring_) metrics_.record_hit();
@@ -199,7 +166,7 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
   viable.reserve(predictions.size());
   for (const auto& c : predictions) {
     if (c.item == item) continue;
-    if (cache.inner().contains(c.item)) continue;
+    if (caches_->contains(user, c.item)) continue;
     if (inflight_.contains(inflight_key(user, c.item))) continue;
     viable.push_back(c);
   }
@@ -215,17 +182,13 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
 }
 
 StackAggregates StackRuntime::aggregates() const {
+  const CachePlaneTotals totals = caches_->totals(config_.estimator_model);
   StackAggregates agg;
-  for (const auto& cache : caches_) {
-    agg.hprime_sum +=
-        config_.estimator_model == core::InteractionModel::kModelA
-            ? cache->estimate_model_a()
-            : cache->estimate_model_b();
-    agg.prefetch_inserts += cache->prefetch_inserts();
-    agg.prefetch_first_uses += cache->prefetch_first_uses();
-  }
+  agg.hprime_sum = totals.hprime_sum;
+  agg.prefetch_inserts = totals.prefetch_inserts;
+  agg.prefetch_first_uses = totals.prefetch_first_uses;
   agg.wasted_evictions = wasted_evictions_;
-  agg.num_users = caches_.size();
+  agg.num_users = config_.num_users;
   return agg;
 }
 

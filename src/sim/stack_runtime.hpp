@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/tagged_cache.hpp"
+#include "cache/cache_plane.hpp"
 #include "des/simulator.hpp"
 #include "net/ps_server.hpp"
 #include "policy/policy.hpp"
@@ -32,8 +32,7 @@ struct StackRuntimeConfig {
   double item_size = 1.0;
   std::size_t num_users = 1;
   std::size_t cache_capacity = 64;
-  /// 0=LRU 1=LFU 2=FIFO 3=CLOCK 4=random (matches ProxySimConfig::CacheKind).
-  int cache_kind = 0;
+  CacheKind cache_kind = CacheKind::kLru;
   core::InteractionModel estimator_model = core::InteractionModel::kModelA;
   std::size_t max_prefetch_per_request = 8;
   std::uint64_t seed = 1;
@@ -43,6 +42,10 @@ struct StackRuntimeConfig {
   /// hash — the byte-identical reference backend for differential tests and
   /// the perf_stack baseline.
   bool use_tree_inflight = false;
+  /// Run the per-user caches as the legacy TaggedCache fleet instead of the
+  /// slab-backed arena plane — the byte-identical reference backend for
+  /// differential tests and the memory/throughput baseline.
+  bool use_legacy_caches = false;
   /// Observer fired on every retrieval submission (demand and prefetch),
   /// at submission time, after the job entered the local link. Pure
   /// observation: installing it never changes runtime behaviour. The
@@ -175,7 +178,8 @@ class StackRuntime {
 
   PsServer server_;
   SimMetrics metrics_;
-  std::vector<std::unique_ptr<TaggedCache>> caches_;
+  /// The whole client-cache fleet (entries, policies, §4 estimator state).
+  std::unique_ptr<CachePlane> caches_;
   /// Per-user ĥ' estimates and their running sum; updated on mutation.
   std::vector<double> estimate_cache_;
   double estimate_sum_ = 0.0;

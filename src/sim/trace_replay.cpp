@@ -57,12 +57,13 @@ ProxySimResult run_trace_replay(const Trace& trace,
   runtime_config.item_size = config.item_size;
   runtime_config.num_users = user_index.size();
   runtime_config.cache_capacity = config.cache_capacity;
-  runtime_config.cache_kind = static_cast<int>(config.cache_kind);
+  runtime_config.cache_kind = config.cache_kind;
   runtime_config.estimator_model = config.estimator_model;
   runtime_config.max_prefetch_per_request = config.max_prefetch_per_request;
   runtime_config.seed = config.seed;
   runtime_config.lambda_prior = std::max(1e-9, trace.mean_request_rate());
   runtime_config.use_tree_inflight = config.use_tree_inflight;
+  runtime_config.use_legacy_caches = config.use_legacy_caches;
 
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, runtime_config);

@@ -45,6 +45,11 @@ struct TraceReplayConfig {
   /// tests and the perf_stack baseline; the flat hash is the default).
   bool use_tree_inflight = false;
 
+  /// Use the legacy per-user TaggedCache fleet instead of the slab-backed
+  /// arena cache plane (reference for differential tests; the arena is the
+  /// default).
+  bool use_legacy_caches = false;
+
   void validate() const;
 };
 

@@ -310,6 +310,206 @@ class FlatHashMap {
   std::size_t size_ = 0;
 };
 
+/// Structure-of-arrays flat hash map from 64-bit keys to 32-bit values —
+/// the residency index of the cache arena, where tens of millions of
+/// entries make per-slot bytes the figure of merit. Same robin-hood
+/// probing, power-of-two capacity, and backward-shift deletion as
+/// FlatHashMap, but keys, values, and metadata live in three parallel
+/// arrays: 13 bytes per slot instead of sizeof(Entry) + 1 = 17 (the
+/// {u64, u32} Entry pads to 16).
+///
+/// MAINTENANCE: the probing core (find_index / robin_place / erase_at /
+/// grow-retry carry contract, load-factor and kMaxProbe constants) is a
+/// deliberate storage-layout fork of FlatHashMap's above — a fix to those
+/// invariants in either class must be mirrored in the other.
+class FlatIndexMap {
+ public:
+  FlatIndexMap() = default;
+
+  ~FlatIndexMap() { deallocate(); }
+
+  FlatIndexMap(FlatIndexMap&& other) noexcept { steal(other); }
+
+  FlatIndexMap& operator=(FlatIndexMap&& other) noexcept {
+    if (this != &other) {
+      deallocate();
+      steal(other);
+    }
+    return *this;
+  }
+
+  FlatIndexMap(const FlatIndexMap&) = delete;
+  FlatIndexMap& operator=(const FlatIndexMap&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::uint32_t* find(std::uint64_t key) noexcept {
+    const std::size_t idx = find_index(key);
+    return idx == kNotFound ? nullptr : &values_[idx];
+  }
+  const std::uint32_t* find(std::uint64_t key) const noexcept {
+    const std::size_t idx = find_index(key);
+    return idx == kNotFound ? nullptr : &values_[idx];
+  }
+
+  bool contains(std::uint64_t key) const noexcept {
+    return find_index(key) != kNotFound;
+  }
+
+  /// Returns the value slot for `key`, inserting 0 first if absent.
+  std::uint32_t& operator[](std::uint64_t key) {
+    if (std::uint32_t* v = find(key)) return *v;
+    return *insert_new(key, 0);
+  }
+
+  /// Removes `key`. Returns false when absent.
+  bool erase(std::uint64_t key) {
+    const std::size_t idx = find_index(key);
+    if (idx == kNotFound) return false;
+    erase_at(idx);
+    return true;
+  }
+
+  /// Ensures `n` entries fit without further rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap > capacity_) rehash_to(cap);
+  }
+
+ private:
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+  static constexpr std::uint32_t kMaxProbe = 254;
+
+  std::size_t find_index(std::uint64_t key) const noexcept {
+    if (size_ == 0) return kNotFound;
+    std::size_t idx = mix_u64(key) & mask_;
+    std::uint32_t dist = 1;
+    while (meta_[idx] >= dist) {
+      if (keys_[idx] == key) return idx;
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+    return kNotFound;
+  }
+
+  /// Robin-hood placement over the parallel arrays; same contract as
+  /// FlatHashMap::robin_place (nullptr = probe-distance overflow, caller
+  /// grows and retries with the leftover carry).
+  std::uint32_t* robin_place(std::uint64_t& carry_key,
+                             std::uint32_t& carry_value) {
+    std::size_t idx = mix_u64(carry_key) & mask_;
+    std::uint32_t dist = 1;
+    std::uint32_t* placed = nullptr;
+    for (;;) {
+      if (dist > kMaxProbe) return nullptr;
+      if (meta_[idx] == 0) {
+        keys_[idx] = carry_key;
+        values_[idx] = carry_value;
+        meta_[idx] = static_cast<std::uint8_t>(dist);
+        return placed ? placed : &values_[idx];
+      }
+      if (meta_[idx] < dist) {
+        std::swap(carry_key, keys_[idx]);
+        std::swap(carry_value, values_[idx]);
+        const std::uint8_t displaced = meta_[idx];
+        meta_[idx] = static_cast<std::uint8_t>(dist);
+        dist = displaced;
+        if (!placed) placed = &values_[idx];
+      }
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  std::uint32_t* insert_new(std::uint64_t key, std::uint32_t value) {
+    if (capacity_ == 0 ||
+        (size_ + 1) * kMaxLoadDen > capacity_ * kMaxLoadNum) {
+      rehash_to(capacity_ ? capacity_ * 2 : kMinCapacity);
+    }
+    std::uint64_t carry_key = key;
+    std::uint32_t carry_value = value;
+    std::uint32_t* placed = robin_place(carry_key, carry_value);
+    while (placed == nullptr) {
+      rehash_to(capacity_ * 2);
+      if (robin_place(carry_key, carry_value)) placed = find(key);
+    }
+    ++size_;
+    SPECPF_ASSERT(placed != nullptr);
+    return placed;
+  }
+
+  void erase_at(std::size_t idx) {
+    std::size_t cur = idx;
+    for (;;) {
+      const std::size_t next = (cur + 1) & mask_;
+      if (meta_[next] <= 1) break;
+      keys_[cur] = keys_[next];
+      values_[cur] = values_[next];
+      meta_[cur] = static_cast<std::uint8_t>(meta_[next] - 1);
+      cur = next;
+    }
+    meta_[cur] = 0;
+    --size_;
+  }
+
+  void rehash_to(std::size_t new_capacity) {
+    std::uint64_t* old_keys = keys_;
+    std::uint32_t* old_values = values_;
+    std::uint8_t* old_meta = meta_;
+    const std::size_t old_capacity = capacity_;
+
+    keys_ = new std::uint64_t[new_capacity];
+    values_ = new std::uint32_t[new_capacity];
+    meta_ = new std::uint8_t[new_capacity]{};
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+
+    for (std::size_t i = 0; i < old_capacity; ++i) {
+      if (old_meta[i] == 0) continue;
+      std::uint64_t key = old_keys[i];
+      std::uint32_t value = old_values[i];
+      std::uint32_t* replaced = robin_place(key, value);
+      SPECPF_ASSERT(replaced != nullptr);
+    }
+    delete[] old_keys;
+    delete[] old_values;
+    delete[] old_meta;
+  }
+
+  void deallocate() {
+    delete[] keys_;
+    delete[] values_;
+    delete[] meta_;
+    keys_ = nullptr;
+    values_ = nullptr;
+    meta_ = nullptr;
+    capacity_ = 0;
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  void steal(FlatIndexMap& other) noexcept {
+    keys_ = std::exchange(other.keys_, nullptr);
+    values_ = std::exchange(other.values_, nullptr);
+    meta_ = std::exchange(other.meta_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    mask_ = std::exchange(other.mask_, 0);
+    size_ = std::exchange(other.size_, 0);
+  }
+
+  std::uint64_t* keys_ = nullptr;
+  std::uint32_t* values_ = nullptr;
+  std::uint8_t* meta_ = nullptr;  // 0 = empty, d = probe distance + 1
+  std::size_t capacity_ = 0;      // power of two, or 0 before first insert
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
 /// Flat hash set of 64-bit keys, built on FlatHashMap.
 class FlatHashSet {
  public:

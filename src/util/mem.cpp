@@ -1,0 +1,54 @@
+#include "util/mem.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace specpf {
+
+namespace {
+
+/// Parses a "/proc/self/status" line of the form "VmRSS:   123456 kB".
+bool parse_kb_line(const char* line, const char* key, std::size_t* out) {
+  const std::size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return false;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + key_len, " %llu", &kb) != 1) return false;
+  *out = static_cast<std::size_t>(kb) * 1024;
+  return true;
+}
+
+}  // namespace
+
+MemoryUsage read_memory_usage() {
+  MemoryUsage usage;
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      parse_kb_line(line, "VmRSS:", &usage.resident_bytes);
+      parse_kb_line(line, "VmHWM:", &usage.peak_resident_bytes);
+    }
+    std::fclose(f);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  if (usage.peak_resident_bytes == 0) {
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+      usage.peak_resident_bytes = static_cast<std::size_t>(ru.ru_maxrss);
+#else
+      usage.peak_resident_bytes =
+          static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+  }
+#endif
+  return usage;
+}
+
+}  // namespace specpf

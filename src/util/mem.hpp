@@ -1,0 +1,21 @@
+// Process-memory probe for the memory-diet benchmarks and sweeps: current
+// and peak resident set size, read from the OS. Used to report bytes/user
+// in the million-user sweeps and in BENCH_cache.json.
+#pragma once
+
+#include <cstddef>
+
+namespace specpf {
+
+struct MemoryUsage {
+  std::size_t resident_bytes = 0;       ///< current RSS (Linux: VmRSS)
+  std::size_t peak_resident_bytes = 0;  ///< high-water RSS (Linux: VmHWM)
+};
+
+/// Reads the calling process's resident-set usage. On Linux this parses
+/// /proc/self/status (VmRSS / VmHWM); elsewhere it falls back to getrusage
+/// (peak only). Fields read zero when the platform offers nothing — callers
+/// should treat zero as "unavailable", not "no memory".
+MemoryUsage read_memory_usage();
+
+}  // namespace specpf

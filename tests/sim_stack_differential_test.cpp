@@ -1,11 +1,13 @@
-// Differential test: the flat-hash data plane must reproduce bit-identical
-// ProxySimResults against the legacy std::map in-flight backend, across
-// every predictor and cache kind, for both the generative proxy sim and
-// trace replay. The two backends differ only in container layout; any
-// divergence means the flat map changed behaviour, not just speed.
+// Differential tests: the flat-hash data plane must reproduce bit-identical
+// ProxySimResults against the legacy std::map in-flight backend, and the
+// slab-backed arena cache plane against the legacy per-user TaggedCache
+// fleet — across every predictor and cache kind, for the generative proxy
+// sim, trace replay, and a sharded replay. The backends differ only in
+// container layout; any divergence means behaviour changed, not just speed.
 #include <gtest/gtest.h>
 
 #include "policy/policies.hpp"
+#include "shard/sharded_sim.hpp"
 #include "sim/proxy_sim.hpp"
 #include "sim/trace_replay.hpp"
 #include "workload/synthetic_trace.hpp"
@@ -74,6 +76,124 @@ TEST(StackDifferential, FlatMatchesTreeAcrossPredictorsAndCacheKinds) {
       expect_identical(flat, tree);
       EXPECT_GT(flat.requests, 0u);
     }
+  }
+}
+
+// --- arena cache plane vs legacy TaggedCache fleet ---
+
+TEST(StackDifferential, ArenaCachesMatchLegacyAcrossPredictorsAndCacheKinds) {
+  const ProxySimConfig::PredictorKind predictors[] = {
+      ProxySimConfig::PredictorKind::kMarkov,
+      ProxySimConfig::PredictorKind::kOracle,
+  };
+  const ProxySimConfig::CacheKind caches[] = {
+      ProxySimConfig::CacheKind::kLru, ProxySimConfig::CacheKind::kLfu,
+      ProxySimConfig::CacheKind::kFifo, ProxySimConfig::CacheKind::kClock,
+      ProxySimConfig::CacheKind::kRandom,
+  };
+  for (auto predictor : predictors) {
+    for (auto cache : caches) {
+      ProxySimConfig cfg;
+      cfg.num_users = 4;
+      cfg.bandwidth = 30.0;
+      cfg.graph.num_pages = 60;
+      cfg.graph.out_degree = 3;
+      cfg.graph.exit_probability = 0.2;
+      cfg.cache_capacity = 12;
+      cfg.duration = 120.0;
+      cfg.warmup = 20.0;
+      cfg.seed = 9;
+      cfg.predictor_kind = predictor;
+      cfg.cache_kind = cache;
+
+      cfg.use_legacy_caches = false;
+      ThresholdPolicy arena_policy(core::InteractionModel::kModelA);
+      const ProxySimResult arena = run_proxy_sim(cfg, arena_policy);
+
+      cfg.use_legacy_caches = true;
+      ThresholdPolicy legacy_policy(core::InteractionModel::kModelA);
+      const ProxySimResult legacy = run_proxy_sim(cfg, legacy_policy);
+
+      SCOPED_TRACE("predictor=" + std::to_string(static_cast<int>(predictor)) +
+                   " cache=" + std::to_string(static_cast<int>(cache)));
+      expect_identical(arena, legacy);
+      EXPECT_GT(arena.requests, 0u);
+    }
+  }
+}
+
+TEST(StackDifferential, TraceReplayArenaCachesMatchLegacyAcrossCacheKinds) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  for (auto cache :
+       {ProxySimConfig::CacheKind::kLru, ProxySimConfig::CacheKind::kLfu,
+        ProxySimConfig::CacheKind::kFifo, ProxySimConfig::CacheKind::kClock,
+        ProxySimConfig::CacheKind::kRandom}) {
+    // Capacity 8 exercises the per-user-block arenas, 24 the shared-slab +
+    // flat-index arenas (the small/mapped residency dispatch boundary is
+    // arena::kInlineResidencyCapacity = 16).
+    for (std::size_t capacity : {std::size_t{8}, std::size_t{24}}) {
+      TraceReplayConfig cfg;
+      cfg.bandwidth = 60.0;
+      cfg.cache_capacity = capacity;
+      cfg.cache_kind = cache;
+
+      cfg.use_legacy_caches = false;
+      ThresholdPolicy arena_policy(core::InteractionModel::kModelA);
+      const ProxySimResult arena = run_trace_replay(trace, cfg, arena_policy);
+
+      cfg.use_legacy_caches = true;
+      ThresholdPolicy legacy_policy(core::InteractionModel::kModelA);
+      const ProxySimResult legacy = run_trace_replay(trace, cfg, legacy_policy);
+
+      SCOPED_TRACE("cache=" + std::to_string(static_cast<int>(cache)) +
+                   " capacity=" + std::to_string(capacity));
+      expect_identical(arena, legacy);
+      EXPECT_GT(arena.requests, 0u);
+    }
+  }
+}
+
+TEST(StackDifferential, ShardedReplayArenaCachesMatchLegacyAcrossCacheKinds) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 300;
+  trace_cfg.num_requests = 3000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 33;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  for (auto cache :
+       {ProxySimConfig::CacheKind::kLru, ProxySimConfig::CacheKind::kLfu,
+        ProxySimConfig::CacheKind::kFifo, ProxySimConfig::CacheKind::kClock,
+        ProxySimConfig::CacheKind::kRandom}) {
+    ShardedReplayConfig cfg;
+    cfg.stack.bandwidth = 60.0;
+    cfg.stack.cache_capacity = 8;
+    cfg.stack.cache_kind = cache;
+    cfg.num_shards = 3;
+    cfg.num_threads = 1;
+    const PolicyFactory factory = [] {
+      return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+    };
+
+    cfg.stack.use_legacy_caches = false;
+    const ShardedReplayResult arena = run_sharded_replay(trace, cfg, factory);
+
+    cfg.stack.use_legacy_caches = true;
+    const ShardedReplayResult legacy = run_sharded_replay(trace, cfg, factory);
+
+    SCOPED_TRACE("cache=" + std::to_string(static_cast<int>(cache)));
+    expect_identical(arena.merged, legacy.merged);
+    EXPECT_EQ(arena.cross_shard_events, legacy.cross_shard_events);
+    EXPECT_EQ(arena.backbone.jobs(), legacy.backbone.jobs());
+    EXPECT_GT(arena.merged.requests, 0u);
   }
 }
 

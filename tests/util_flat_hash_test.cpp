@@ -187,6 +187,82 @@ TEST(FlatHashMap, FuzzDifferentialAgainstUnorderedMap) {
   EXPECT_EQ(visited, ref.size());
 }
 
+TEST(FlatIndexMap, InsertFindEraseBasics) {
+  FlatIndexMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_FALSE(map.erase(42));
+
+  map[42] = 7;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 7u);
+  EXPECT_TRUE(map.contains(42));
+  EXPECT_FALSE(map.contains(43));
+
+  map[42] = 9;  // overwrite, no duplicate
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.find(42), 9u);
+
+  EXPECT_TRUE(map.erase(42));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatIndexMap, FuzzDifferentialAgainstUnorderedMap) {
+  // Same differential as FlatHashMap's, against the SoA specialisation the
+  // cache arena's residency index uses.
+  FlatIndexMap map;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  Rng rng(0xF1A8);
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint64_t key = rng.next_u64() % 512;
+    switch (rng.next_u64() % 3) {
+      case 0: {  // insert / overwrite
+        const auto value = static_cast<std::uint32_t>(rng.next_u64());
+        map[key] = value;
+        ref[key] = value;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 2: {  // lookup
+        const std::uint32_t* v = map.find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          EXPECT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Every reference entry must still be found (the SoA map lacks
+  // iteration by design — residency probes are point lookups).
+  for (const auto& [key, value] : ref) {
+    const std::uint32_t* v = map.find(key);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, value);
+  }
+}
+
+TEST(FlatIndexMap, ReserveSurvivesFillWithoutLosingEntries) {
+  FlatIndexMap map;
+  map.reserve(4096);
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    map[k << 32 | k] = static_cast<std::uint32_t>(k);
+  }
+  EXPECT_EQ(map.size(), 4096u);
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    ASSERT_NE(map.find(k << 32 | k), nullptr);
+    EXPECT_EQ(*map.find(k << 32 | k), static_cast<std::uint32_t>(k));
+  }
+}
+
 TEST(FlatHashSet, BasicsAndFuzz) {
   FlatHashSet set;
   EXPECT_TRUE(set.insert(10));
