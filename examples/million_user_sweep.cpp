@@ -42,16 +42,6 @@ PolicyFactory policy_factory(std::string name) {
   return [name] { return make_policy_by_name(name); };
 }
 
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(tok);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +66,9 @@ int main(int argc, char** argv) {
   args.add_flag("backbone-latency", "0.05",
                 "cross-shard latency = epoch lookahead (s)");
   args.add_flag("seed", "2001", "random seed");
+  args.add_flag("governor", "",
+                "prefetch governor: noop|token-<rate>|aimd-<setpoint>|"
+                "conf-<precision> (empty = ungoverned)");
   args.add_flag("legacy-caches", "false",
                 "run the legacy per-user TaggedCache fleet instead of the "
                 "slab-backed arena cache plane");
@@ -110,10 +103,11 @@ int main(int argc, char** argv) {
   replay_cfg.max_prefetch_per_request = 4;
   replay_cfg.seed = trace_cfg.seed;
   replay_cfg.use_legacy_caches = args.get_bool("legacy-caches");
+  replay_cfg.governor = args.get_string("governor");
 
   Table table({"policy", "access time", "hit ratio", "rho", "demand jobs",
-               "prefetch jobs", "inflight hits", "backbone jobs", "wall s",
-               "req/s", "peak MB", "B/user"});
+               "prefetch jobs", "throttled", "inflight hits", "backbone jobs",
+               "wall s", "req/s", "peak MB", "B/user"});
   table.set_precision(4);
   for (const std::string& name : split_csv(args.get_string("policy"))) {
     const PolicyFactory factory = policy_factory(name);
@@ -152,6 +146,7 @@ int main(int argc, char** argv) {
                    r.server_utilization,
                    static_cast<std::int64_t>(r.demand_jobs),
                    static_cast<std::int64_t>(r.prefetch_jobs),
+                   static_cast<std::int64_t>(r.throttled_prefetches),
                    static_cast<std::int64_t>(r.inflight_hits),
                    static_cast<std::int64_t>(backbone_jobs), secs,
                    static_cast<double>(r.requests) / secs,
@@ -159,8 +154,10 @@ int main(int argc, char** argv) {
                    run_bytes_per_user});
   }
   std::printf("\n%s\n", table.to_markdown().c_str());
-  std::printf("cache backend: %s\n", replay_cfg.use_legacy_caches
-                                         ? "legacy TaggedCache fleet"
-                                         : "slab-backed arena plane");
+  std::printf("cache backend: %s, governor: %s\n",
+              replay_cfg.use_legacy_caches ? "legacy TaggedCache fleet"
+                                           : "slab-backed arena plane",
+              replay_cfg.governor.empty() ? "(ungoverned)"
+                                          : replay_cfg.governor.c_str());
   return 0;
 }

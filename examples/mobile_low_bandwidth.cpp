@@ -11,11 +11,34 @@
 //   ./mobile_low_bandwidth --duration 900
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "policy/policies.hpp"
 #include "sim/proxy_sim.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+std::vector<double> parse_double_list(const std::string& csv,
+                                      std::vector<double> fallback) {
+  std::vector<double> out;
+  for (const std::string& tok : specpf::split_csv(csv)) {
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(tok, &consumed);
+      if (consumed != tok.size()) throw std::invalid_argument(tok);
+      out.push_back(v);
+    } catch (...) {
+      std::fprintf(stderr, "ignoring malformed bandwidth '%s'\n", tok.c_str());
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace specpf;
@@ -23,26 +46,35 @@ int main(int argc, char** argv) {
                  "Bandwidth sweep: when does prefetching stop paying?");
   args.add_flag("duration", "900", "measured seconds per run");
   args.add_flag("users", "6", "number of mobile clients");
+  args.add_flag("bandwidths", "80,40,25,18,14,11",
+                "comma-separated bandwidths to sweep (pages/s)");
+  args.add_flag("pages", "80", "site size (pages)");
+  args.add_flag("cache", "24", "per-client cache capacity (pages)");
+  args.add_flag("aggressive-theta", "0.02",
+                "fixed threshold of the aggressive baseline prefetcher");
+  args.add_flag("seed", "17", "random seed");
   if (!args.parse(argc, argv)) return 1;
 
   ProxySimConfig base;
   base.num_users = static_cast<std::size_t>(args.get_int("users"));
-  base.graph.num_pages = 80;
+  base.graph.num_pages = static_cast<std::size_t>(args.get_int("pages"));
   base.graph.out_degree = 3;
   base.graph.exit_probability = 0.2;
   base.graph.link_skew = 1.5;
   base.session_rate_per_user = 0.8;
   base.think_time_mean = 0.4;
-  base.cache_capacity = 24;
+  base.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
   base.duration = args.get_double("duration");
   base.warmup = base.duration / 10.0;
-  base.seed = 17;
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   Table table({"bandwidth", "rho' (none)", "p_th est", "t none", "t threshold",
                "t aggressive", "threshold vs none", "aggressive vs none"});
   table.set_precision(4);
 
-  for (double bandwidth : {80.0, 40.0, 25.0, 18.0, 14.0, 11.0}) {
+  for (double bandwidth : parse_double_list(
+           args.get_string("bandwidths"), {80.0, 40.0, 25.0, 18.0, 14.0,
+                                           11.0})) {
     ProxySimConfig cfg = base;
     cfg.bandwidth = bandwidth;
 
@@ -52,7 +84,7 @@ int main(int argc, char** argv) {
     ThresholdPolicy threshold(core::InteractionModel::kModelA);
     const auto r_thresh = run_proxy_sim(cfg, threshold);
 
-    FixedThresholdPolicy aggressive(0.02);
+    FixedThresholdPolicy aggressive(args.get_double("aggressive-theta"));
     const auto r_aggr = run_proxy_sim(cfg, aggressive);
 
     // p_th as the deployed policy would estimate it at the end of the run.

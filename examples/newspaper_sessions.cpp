@@ -20,26 +20,36 @@ int main(int argc, char** argv) {
                  "Patterned newspaper browsing with dependency-graph "
                  "prediction");
   args.add_flag("duration", "1200", "measured seconds per run");
+  args.add_flag("users", "8", "number of concurrent readers");
+  args.add_flag("bandwidth", "45", "shared link bandwidth (pages/s)");
+  args.add_flag("pages", "200", "site size (pages)");
+  args.add_flag("cache", "40", "per-reader cache capacity (pages)");
+  args.add_flag("link-skew", "2.0",
+                "Zipf skew across a page's links (readers follow the lead "
+                "story)");
+  args.add_flag("entry-skew", "1.5",
+                "Zipf skew of session entries (front page dominates)");
+  args.add_flag("seed", "1997", "random seed (default: the ETEL year)");
   args.add_flag("trace", "", "optional path to dump the workload trace CSV");
   if (!args.parse(argc, argv)) return 1;
 
   // A newspaper: few entry pages (front page dominates via entry_skew),
   // heavily skewed link choices (lead story first).
   ProxySimConfig cfg;
-  cfg.num_users = 8;
-  cfg.bandwidth = 45.0;
-  cfg.graph.num_pages = 200;
+  cfg.num_users = static_cast<std::size_t>(args.get_int("users"));
+  cfg.bandwidth = args.get_double("bandwidth");
+  cfg.graph.num_pages = static_cast<std::size_t>(args.get_int("pages"));
   cfg.graph.out_degree = 5;
   cfg.graph.exit_probability = 0.15;
-  cfg.graph.link_skew = 2.0;   // readers overwhelmingly follow the lead link
-  cfg.graph.entry_skew = 1.5;  // most sessions start at the front page
+  cfg.graph.link_skew = args.get_double("link-skew");
+  cfg.graph.entry_skew = args.get_double("entry-skew");
   cfg.session_rate_per_user = 0.6;
   cfg.think_time_mean = 0.6;
-  cfg.cache_capacity = 40;
+  cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
   cfg.predictor_kind = ProxySimConfig::PredictorKind::kDependencyGraph;
   cfg.duration = args.get_double("duration");
   cfg.warmup = cfg.duration / 10.0;
-  cfg.seed = 1997;  // the ETEL project's year
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   Table table({"policy", "access time", "hit ratio", "rho", "useful frac"});
   table.set_precision(4);
@@ -70,7 +80,9 @@ int main(int argc, char** argv) {
   for (int session = 0; session < 200; ++session) {
     t += 3.0;
     for (std::uint64_t page : graph.sample_session(rng)) {
-      trace.append({t, static_cast<std::uint32_t>(session % 8), page});
+      trace.append({t, static_cast<std::uint32_t>(
+                           session % static_cast<int>(cfg.num_users)),
+                    page});
       t += 0.5;
     }
   }

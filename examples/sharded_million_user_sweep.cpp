@@ -42,10 +42,13 @@ PolicyFactory policy_factory(std::string name) {
 
 std::vector<std::size_t> parse_thread_list(const std::string& csv) {
   std::vector<std::size_t> out;
-  std::stringstream ss(csv);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  for (const std::string& tok : split_csv(csv)) {
+    try {
+      out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+    } catch (...) {
+      std::fprintf(stderr, "ignoring malformed thread count '%s'\n",
+                   tok.c_str());
+    }
   }
   if (out.empty()) out.push_back(1);
   return out;

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   args.add_flag("pages", "120", "site size (pages)");
   args.add_flag("cache", "32", "per-client cache capacity (pages)");
   args.add_flag("duration", "1200", "measured seconds");
+  args.add_flag("session-rate", "0.7", "session starts per client per second");
+  args.add_flag("think", "0.5", "mean think time between clicks (s)");
+  args.add_flag("link-skew", "1.4", "Zipf skew across a page's links");
   args.add_flag("seed", "2001", "random seed");
   args.add_flag("predictor", "markov", "markov|ppm|depgraph|frequency|oracle");
   if (!args.parse(argc, argv)) return 1;
@@ -30,9 +33,9 @@ int main(int argc, char** argv) {
   cfg.graph.num_pages = static_cast<std::size_t>(args.get_int("pages"));
   cfg.graph.out_degree = 4;
   cfg.graph.exit_probability = 0.18;
-  cfg.graph.link_skew = 1.4;
-  cfg.session_rate_per_user = 0.7;
-  cfg.think_time_mean = 0.5;
+  cfg.graph.link_skew = args.get_double("link-skew");
+  cfg.session_rate_per_user = args.get_double("session-rate");
+  cfg.think_time_mean = args.get_double("think");
   cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
   cfg.duration = args.get_double("duration");
   cfg.warmup = cfg.duration / 10.0;

@@ -26,6 +26,12 @@ int main(int argc, char** argv) {
   args.add_flag("lambda", "30", "aggregate request rate (req/s)");
   args.add_flag("hprime", "0.3", "cache hit ratio without prefetching");
   args.add_flag("duration", "900", "simulated seconds for the check");
+  args.add_flag("users", "6", "clients in the simulated check");
+  args.add_flag("cache", "32", "per-client cache capacity (pages)");
+  args.add_flag("pages", "100", "site size in the simulated check");
+  args.add_flag("utilization-cap", "0.85",
+                "QoS policy's utilisation cap (capacity headroom)");
+  args.add_flag("seed", "4", "random seed for the simulated check");
   if (!args.parse(argc, argv)) return 1;
 
   const double slo = args.get_double("slo");
@@ -83,23 +89,24 @@ int main(int argc, char** argv) {
 
   // --- 4. verify in simulation with the QoS-budgeted policy ---
   ProxySimConfig cfg;
-  cfg.num_users = 6;
+  cfg.num_users = static_cast<std::size_t>(args.get_int("users"));
   cfg.bandwidth = params.bandwidth;
-  cfg.graph.num_pages = 100;
+  cfg.graph.num_pages = static_cast<std::size_t>(args.get_int("pages"));
   cfg.graph.out_degree = 3;
   cfg.graph.exit_probability = 0.2;
   cfg.graph.link_skew = 1.6;
   cfg.session_rate_per_user = 0.9;
   cfg.think_time_mean = 0.35;
-  cfg.cache_capacity = 32;
+  cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
   cfg.duration = args.get_double("duration");
   cfg.warmup = cfg.duration / 10.0;
-  cfg.seed = 4;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   // The policy enforces a utilisation cap (capacity headroom against the
   // tail effects the mean-value model ignores); 0.85 is a common choice.
   NoPrefetchPolicy none;
-  QosThresholdPolicy qos(core::InteractionModel::kModelA, 0.85);
+  QosThresholdPolicy qos(core::InteractionModel::kModelA,
+                         args.get_double("utilization-cap"));
   const auto base = run_proxy_sim(cfg, none);
   const auto with_qos = run_proxy_sim(cfg, qos);
   std::printf("simulated check on a session workload (b=%.1f):\n",

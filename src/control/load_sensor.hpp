@@ -1,0 +1,94 @@
+// Link load sensing for the prefetch control plane.
+//
+// A LinkLoadSensor watches one shared link (the regional proxy's PsServer,
+// or a shard's origin uplink) and maintains cheap EWMA estimates of what
+// the link is actually doing:
+//
+//   * utilization  — HoldEwma of the busy indicator (active_jobs > 0)
+//   * queue_depth  — HoldEwma of the jobs-in-system count
+//   * slowdown     — EventEwma of sojourn / unloaded service time per
+//                    completion (1.0 on an idle PS link; n when n jobs
+//                    share it)
+//
+// Observations happen at event instants the runtime already visits
+// (submissions and completions), so sensing adds no events to the engine,
+// draws no randomness, and allocates nothing — installing a sensor can
+// never perturb the simulation it is watching. Peaks of the smoothed depth
+// and slowdown are tracked per measurement window (reset_peaks at the
+// warmup boundary); they are the "peak network load" the congestion
+// benchmarks compare governed vs ungoverned runs on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "stats/ewma.hpp"
+
+namespace specpf {
+
+struct LoadSensorConfig {
+  /// Time constant of the continuous (utilization / queue depth) EWMAs, in
+  /// simulated seconds.
+  double tau = 1.0;
+  /// Per-completion weight of the slowdown EWMA.
+  double slowdown_alpha = 0.05;
+};
+
+/// Snapshot of what the sensor currently reads.
+struct LoadSignals {
+  double utilization = 0.0;     ///< smoothed busy fraction
+  double queue_depth = 0.0;     ///< smoothed jobs-in-system
+  double slowdown = 1.0;        ///< smoothed sojourn / unloaded service time
+  double peak_queue_depth = 0.0;  ///< max smoothed depth this window
+  double peak_slowdown = 0.0;     ///< max smoothed slowdown this window
+};
+
+class LinkLoadSensor {
+ public:
+  explicit LinkLoadSensor(const LoadSensorConfig& config = {})
+      : busy_(config.tau),
+        depth_(config.tau),
+        slowdown_(config.slowdown_alpha, 1.0) {}
+
+  /// Observes the instantaneous jobs-in-system count at `now` (call on
+  /// every submission and completion).
+  void observe_queue(double now, std::size_t active_jobs) noexcept {
+    busy_.observe(now, active_jobs > 0 ? 1.0 : 0.0);
+    depth_.observe(now, static_cast<double>(active_jobs));
+    signals_.utilization = busy_.value();
+    signals_.queue_depth = depth_.value();
+    signals_.peak_queue_depth =
+        std::max(signals_.peak_queue_depth, signals_.queue_depth);
+  }
+
+  /// Observes one completed transfer: `sojourn` seconds in system against
+  /// `nominal_service` = size / bandwidth on an unloaded link.
+  void observe_completion(double now, double sojourn,
+                          double nominal_service) noexcept {
+    (void)now;
+    const double x =
+        nominal_service > 0.0 ? sojourn / nominal_service : 1.0;
+    slowdown_.add(x);
+    signals_.slowdown = slowdown_.value();
+    signals_.peak_slowdown =
+        std::max(signals_.peak_slowdown, signals_.slowdown);
+  }
+
+  /// Clears the per-window peak trackers (warmup boundary); the smoothed
+  /// estimates themselves keep their state — the controller should not
+  /// forget the load it has learned just because measurement started.
+  void reset_peaks() noexcept {
+    signals_.peak_queue_depth = signals_.queue_depth;
+    signals_.peak_slowdown = signals_.slowdown;
+  }
+
+  const LoadSignals& signals() const noexcept { return signals_; }
+
+ private:
+  HoldEwma busy_;
+  HoldEwma depth_;
+  EventEwma slowdown_;
+  LoadSignals signals_;
+};
+
+}  // namespace specpf

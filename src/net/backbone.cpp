@@ -19,6 +19,9 @@ BackboneStats merge_backbone_stats(const std::vector<BackboneStats>& links) {
     out.total_service_demand += link.total_service_demand;
     sojourn_weighted += link.mean_sojourn * static_cast<double>(link.completed);
     utilization_sum += link.utilization;
+    out.peak_queue_depth = std::max(out.peak_queue_depth,
+                                    link.peak_queue_depth);
+    out.peak_slowdown = std::max(out.peak_slowdown, link.peak_slowdown);
   }
   out.mean_sojourn =
       out.completed ? sojourn_weighted / static_cast<double>(out.completed)
@@ -36,13 +39,28 @@ void OriginLink::submit(double size, bool is_prefetch) {
   } else {
     ++demand_jobs_;
   }
-  server_.submit(size, [](const TransferResult&) {});
+  if (!sense_) {
+    server_.submit(size, [](const TransferResult&) {});
+    return;
+  }
+  const double nominal = size / server_.bandwidth();
+  server_.submit(size, [this, nominal](const TransferResult& r) {
+    sensor_.observe_completion(r.finish_time, r.sojourn(), nominal);
+    sensor_.observe_queue(r.finish_time, server_.active_jobs());
+  });
+  sensor_.observe_queue(server_.sim().now(), server_.active_jobs());
+}
+
+void OriginLink::enable_sensor(const LoadSensorConfig& config) {
+  sensor_ = LinkLoadSensor(config);
+  sense_ = true;
 }
 
 void OriginLink::reset_stats() {
   server_.reset_stats();
   demand_jobs_ = 0;
   prefetch_jobs_ = 0;
+  if (sense_) sensor_.reset_peaks();
 }
 
 BackboneStats OriginLink::stats() const {
@@ -54,6 +72,10 @@ BackboneStats OriginLink::stats() const {
   out.mean_sojourn = s.mean_sojourn;
   out.utilization = s.utilization;
   out.total_service_demand = s.total_service_demand;
+  if (sense_) {
+    out.peak_queue_depth = sensor_.signals().peak_queue_depth;
+    out.peak_slowdown = sensor_.signals().peak_slowdown;
+  }
   return out;
 }
 

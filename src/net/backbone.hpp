@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "control/load_sensor.hpp"
 #include "net/ps_server.hpp"
 
 namespace specpf {
@@ -32,6 +33,10 @@ struct BackboneStats {
   double mean_sojourn = 0.0;        ///< per-transfer time on the uplink
   double utilization = 0.0;         ///< busy fraction (mean across links)
   double total_service_demand = 0.0;  ///< Σ size/bandwidth over completions
+  /// Load-sensor peaks (smoothed queue depth / slowdown; 0 when the
+  /// uplink's sensor is off). Merged by max across links.
+  double peak_queue_depth = 0.0;
+  double peak_slowdown = 0.0;
 
   std::uint64_t jobs() const { return demand_jobs + prefetch_jobs; }
 };
@@ -59,8 +64,16 @@ class OriginLink {
 
   std::size_t active_jobs() const { return server_.active_jobs(); }
 
+  /// Attaches a load sensor to the uplink (pure observation, like the
+  /// proxy-link sensor; the sharded driver enables it whenever the control
+  /// plane is on so origin congestion is measurable per region).
+  void enable_sensor(const LoadSensorConfig& config);
+  const LoadSignals& load_signals() const { return sensor_.signals(); }
+
  private:
   PsServer server_;
+  LinkLoadSensor sensor_;
+  bool sense_ = false;
   std::uint64_t demand_jobs_ = 0;
   std::uint64_t prefetch_jobs_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "control/governor.hpp"
 #include "des/simulator.hpp"
 #include "shard/mailbox.hpp"
 #include "sim/stack_runtime.hpp"
@@ -33,6 +34,10 @@ struct ShardedSim::Shard {
   std::unique_ptr<Predictor> predictor;
   std::unique_ptr<PrefetchPolicy> policy;
   std::unique_ptr<OriginLink> origin;
+  /// Shard-local prefetch governor (null when the run is ungoverned).
+  /// Only this shard's thread touches it between barriers; the driver
+  /// thread pushes the fleet setpoint in at the barrier.
+  std::unique_ptr<PrefetchGovernor> governor;
   std::unique_ptr<StackRuntime> runtime;
   ShardMailbox outbox;
   ServerStats horizon;
@@ -79,12 +84,16 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
     ++warmup_cut[shard_of_user(trace.records()[i].user, S)];
   }
 
+  const bool control_plane_on =
+      !config.stack.governor.empty() || config.stack.enable_load_sensor;
+
   shards_.reserve(S);
   for (std::uint32_t s = 0; s < S; ++s) {
     auto shard = std::make_unique<Shard>(S);
     shard->id = s;
     shard->origin =
         std::make_unique<OriginLink>(shard->sim, config.backbone_bandwidth);
+    if (control_plane_on) shard->origin->enable_sensor(config.stack.sensor);
 
     const Trace& part = parts[s];
     if (part.empty()) {
@@ -126,6 +135,16 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
     rt.lambda_prior = std::max(1e-9, part.mean_request_rate());
     rt.use_tree_inflight = config.stack.use_tree_inflight;
     rt.use_legacy_caches = config.stack.use_legacy_caches;
+    rt.enable_load_sensor = config.stack.enable_load_sensor;
+    rt.sensor = config.stack.sensor;
+    if (!config.stack.governor.empty()) {
+      // One governor per shard: governors carry control state, so shards
+      // cannot share an instance (same reason policies are per-shard).
+      shard->governor = make_governor_by_name(config.stack.governor,
+                                              config.stack.governor_config);
+      SPECPF_EXPECTS(shard->governor != nullptr);
+      rt.governor = shard->governor.get();
+    }
     if (S > 1) {
       // Cross-shard traffic capture. Thread-local by construction: the
       // observer only appends to this shard's own outbox.
@@ -137,7 +156,7 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
       };
     }
     shard->runtime = std::make_unique<StackRuntime>(
-        shard->sim, *shard->predictor, *shard->policy, rt);
+        shard->sim, *shard->predictor, *shard->policy, std::move(rt));
 
     // Schedule the shard's whole subtrace before the first pop so it lands
     // in the engine's O(1)-pop sorted tier.
@@ -225,6 +244,22 @@ void ShardedSim::exchange_mailboxes() {
   }
 }
 
+void ShardedSim::exchange_setpoints() {
+  if (shards_.size() == 1) return;
+  double sum = 0.0;
+  std::size_t governed = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->governor || !shard->runtime) continue;
+    sum += shard->governor->epoch_signal(shard->runtime->load_signals());
+    ++governed;
+  }
+  if (governed == 0) return;
+  const double fleet = sum / static_cast<double>(governed);
+  for (const auto& shard : shards_) {
+    if (shard->governor) shard->governor->set_fleet_signal(fleet);
+  }
+}
+
 ShardedReplayResult ShardedSim::run() {
   SPECPF_EXPECTS(!ran_);
   ran_ = true;
@@ -251,6 +286,7 @@ ShardedReplayResult ShardedSim::run() {
     run_epoch(t_min + lookahead);
     ++epochs_;
     exchange_mailboxes();
+    exchange_setpoints();
   }
 
   // Merge in canonical shard order (0..S-1), on this thread.

@@ -103,6 +103,12 @@ class ShardedSim {
   void run_epoch(double epoch_end);
   /// Drains all mailboxes into destination engines, canonical order.
   void exchange_mailboxes();
+  /// Control-plane barrier step: averages the per-shard governors'
+  /// congestion signals (canonical shard order, driver thread) and pushes
+  /// the fleet mean back into every governor. No-op when S = 1 or the run
+  /// is ungoverned, so those paths stay bit-identical to the unsharded /
+  /// pre-control-plane runtime.
+  void exchange_setpoints();
   /// Earliest pending event across the fleet (+inf when drained).
   double fleet_next_event_time();
 

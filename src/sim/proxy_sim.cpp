@@ -77,7 +77,7 @@ ProxySimResult run_proxy_sim(const ProxySimConfig& config,
   runtime_config.use_legacy_caches = config.use_legacy_caches;
 
   Simulator sim;
-  StackRuntime runtime(sim, *predictor, policy, runtime_config);
+  StackRuntime runtime(sim, *predictor, policy, std::move(runtime_config));
   const double end_time = config.warmup + config.duration;
 
   std::vector<std::unique_ptr<SessionStream>> streams;

@@ -86,6 +86,14 @@ struct ProxySimResult {
   std::uint64_t inflight_hits = 0;    ///< hits that waited on a live prefetch
   double mean_inflight_wait = 0.0;
   double mean_demand_sojourn = 0.0;
+  /// Prefetches the policy selected but the control plane refused (0 when
+  /// ungoverned).
+  std::uint64_t throttled_prefetches = 0;
+  /// Proxy-link load-sensor peaks over the measurement window — smoothed
+  /// jobs-in-system and sojourn/unloaded-service-time (0 when the sensor
+  /// is off; see control/load_sensor.hpp).
+  double peak_queue_depth = 0.0;
+  double peak_slowdown = 0.0;
 };
 
 /// Runs one replication with the given policy (policy state persists across

@@ -2,40 +2,45 @@
 
 #include <algorithm>
 
+#include "control/governor.hpp"
 #include "sim/proxy_sim.hpp"
 #include "util/contract.hpp"
 
 namespace specpf {
 
 StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
-                           PrefetchPolicy& policy,
-                           const StackRuntimeConfig& config)
+                           PrefetchPolicy& policy, StackRuntimeConfig config)
     : sim_(sim),
       predictor_(predictor),
       policy_(policy),
-      config_(config),
-      server_(sim, config.bandwidth),
-      estimate_cache_(config.num_users, 0.0),
-      inflight_(config.use_tree_inflight),
-      demand_inflight_(config.num_users, 0),
-      pending_prefetches_(config.num_users),
+      config_(std::move(config)),
+      server_(sim, config_.bandwidth),
+      estimate_cache_(config_.num_users, 0.0),
+      inflight_(config_.use_tree_inflight),
+      demand_inflight_(config_.num_users, 0),
+      pending_prefetches_(config_.num_users),
+      sensor_(config_.sensor),
+      sense_(config_.enable_load_sensor || config_.governor != nullptr),
       measuring_(false) {
-  SPECPF_EXPECTS(config.num_users >= 1);
-  SPECPF_EXPECTS(config.item_size > 0.0);
-  SPECPF_EXPECTS(config.cache_capacity >= 1);
+  SPECPF_EXPECTS(config_.num_users >= 1);
+  SPECPF_EXPECTS(config_.item_size > 0.0);
+  SPECPF_EXPECTS(config_.cache_capacity >= 1);
   CachePlaneConfig plane_config;
-  plane_config.num_users = config.num_users;
-  plane_config.capacity = config.cache_capacity;
-  plane_config.seed = config.seed;
-  caches_ = make_cache_plane(config.cache_kind, plane_config,
-                             config.use_legacy_caches);
+  plane_config.num_users = config_.num_users;
+  plane_config.capacity = config_.cache_capacity;
+  plane_config.seed = config_.seed;
+  caches_ = make_cache_plane(config_.cache_kind, plane_config,
+                             config_.use_legacy_caches);
   caches_->set_eviction_observer([this](UserId, ItemId, EntryTag tag) {
     if (tag == EntryTag::kUntagged) {
       ++wasted_evictions_;
       if (measuring_) metrics_.record_wasted_prefetch();
+      // Waste feedback is dynamics, not just metrics: the governor learns
+      // from warmup evictions too.
+      if (config_.governor) config_.governor->on_prefetch_wasted();
     }
   });
-  for (std::size_t u = 0; u < config.num_users; ++u) {
+  for (std::size_t u = 0; u < config_.num_users; ++u) {
     refresh_estimate(static_cast<UserId>(u));
   }
 }
@@ -52,6 +57,10 @@ void StackRuntime::begin_measurement() {
   server_.reset_stats();
   // Warmup evictions belong to the warmup, like every other metric.
   wasted_evictions_ = 0;
+  throttled_prefetches_ = 0;
+  // Peaks are per-window metrics; the sensor's smoothed estimates keep
+  // their learned state across the boundary (they are dynamics).
+  if (sense_) sensor_.reset_peaks();
 }
 
 PolicyContext StackRuntime::current_context() const {
@@ -87,6 +96,11 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
   if (!is_prefetch) ++demand_inflight_[user];
   server_.submit(config_.item_size, [this, user, item,
                                      is_prefetch](const TransferResult& r) {
+    if (sense_) {
+      sensor_.observe_completion(sim_.now(), r.sojourn(),
+                                 config_.item_size / config_.bandwidth);
+      sensor_.observe_queue(sim_.now(), server_.active_jobs());
+    }
     // Re-read measuring_ at completion: a retrieval submitted during warmup
     // that lands inside the measurement window counts toward retrieval
     // metrics, matching the server stats (which are reset at the warmup
@@ -125,6 +139,8 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
       flush_pending_prefetches(user);
     }
   });
+  // Observe the arrival after the job entered the link (busy for sure).
+  if (sense_) sensor_.observe_queue(sim_.now(), server_.active_jobs());
 }
 
 void StackRuntime::handle_request(UserId user, ItemId item) {
@@ -132,12 +148,22 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
   ++total_requests_;
   switch (caches_->access(user, item)) {
     case AccessOutcome::kHitTagged:
+      if (measuring_) metrics_.record_hit();
+      break;
     case AccessOutcome::kHitUntagged:
+      // First touch of a landed prefetch — the precision signal the
+      // confidence governor learns from.
+      if (config_.governor) config_.governor->on_prefetch_useful();
       if (measuring_) metrics_.record_hit();
       break;
     case AccessOutcome::kMiss: {
       if (Inflight* fl = inflight_.find(inflight_key(user, item))) {
         if (measuring_) fl->waiter_times.push_back(sim_.now());
+        if (fl->is_prefetch && !fl->demand_promoted &&
+            config_.governor) {
+          // The demand stream caught up with a live prefetch: useful.
+          config_.governor->on_prefetch_useful();
+        }
         if (fl->is_prefetch && !fl->demand_promoted) {
           // Promote: the user now waits on this transfer, so it must defer
           // prefetch dispatch exactly like a demand fetch (paper §1's
@@ -172,7 +198,33 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
   }
   if (viable.empty()) return;
   const auto selected = policy_.select(viable, current_context());
+  PrefetchGovernor* governor = config_.governor;
+  std::size_t depth_budget = selected.size();
+  if (governor) {
+    // Gate each policy-selected candidate through the governor. Admission
+    // happens at selection time even for deferred prefetches (the token
+    // spend / AIMD decision belongs to the moment the decision is made,
+    // not the idle instant the transfer dispatches at). The sensor is as
+    // fresh as the last submission/completion — jobs only change at those
+    // events, and deliberately no extra observation happens here: the
+    // governed and ungoverned runs must make the *same* observation
+    // sequence, so the noop governor stays bit-identical to ungoverned
+    // including the sensor peaks (EWMA composition is not bit-invariant
+    // under resampling).
+    depth_budget = std::min(
+        depth_budget, governor->depth_limit(config_.max_prefetch_per_request));
+  }
+  std::size_t admitted = 0;
   for (const auto& c : selected) {
+    if (governor) {
+      if (admitted >= depth_budget ||
+          !governor->admit(sim_.now(), user, c, config_.item_size,
+                           sensor_.signals())) {
+        ++throttled_prefetches_;
+        continue;
+      }
+    }
+    ++admitted;
     if (demand_inflight_[user] > 0) {
       pending_prefetches_[user].push_back(c.item);
     } else {
@@ -189,6 +241,11 @@ StackAggregates StackRuntime::aggregates() const {
   agg.prefetch_first_uses = totals.prefetch_first_uses;
   agg.wasted_evictions = wasted_evictions_;
   agg.num_users = config_.num_users;
+  agg.throttled_prefetches = throttled_prefetches_;
+  if (sense_) {
+    agg.peak_queue_depth = sensor_.signals().peak_queue_depth;
+    agg.peak_slowdown = sensor_.signals().peak_slowdown;
+  }
   return agg;
 }
 
@@ -218,6 +275,9 @@ ProxySimResult assemble_stack_result(const SimMetrics& metrics,
           ? static_cast<double>(aggregates.prefetch_first_uses) /
                 static_cast<double>(aggregates.prefetch_inserts)
           : 0.0;
+  out.throttled_prefetches = aggregates.throttled_prefetches;
+  out.peak_queue_depth = aggregates.peak_queue_depth;
+  out.peak_slowdown = aggregates.peak_slowdown;
   return out;
 }
 

@@ -8,14 +8,16 @@
 //   * sim/trace_replay — recorded traces
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache_plane.hpp"
+#include "control/load_sensor.hpp"
+#include "des/inline_function.hpp"
 #include "des/simulator.hpp"
 #include "net/ps_server.hpp"
 #include "policy/policy.hpp"
@@ -26,6 +28,7 @@
 namespace specpf {
 
 struct ProxySimResult;  // defined in sim/proxy_sim.hpp
+class PrefetchGovernor;  // defined in control/governor.hpp
 
 struct StackRuntimeConfig {
   double bandwidth = 50.0;
@@ -50,21 +53,40 @@ struct StackRuntimeConfig {
   /// at submission time, after the job entered the local link. Pure
   /// observation: installing it never changes runtime behaviour. The
   /// sharded driver uses it to record cross-shard traffic into mailboxes;
-  /// leave empty (the default) everywhere else.
-  std::function<void(UserId user, ItemId item, bool is_prefetch)>
-      retrieval_observer;
+  /// leave empty (the default) everywhere else. Inline storage (the
+  /// repo-wide SBO-callable convention): installing it never allocates,
+  /// and the config is consequently move-only.
+  using RetrievalObserver = InlineFunction<void(UserId, ItemId, bool), 32>;
+  RetrievalObserver retrieval_observer;
+  /// Prefetch governor consulted before every prefetch admission (borrowed;
+  /// must outlive the runtime). Null = ungoverned, today's open-loop
+  /// behaviour. Installing a NoopGovernor is bit-identical to null.
+  PrefetchGovernor* governor = nullptr;
+  /// Run the proxy-link load sensor even without a governor (pure
+  /// observation — lets ungoverned baselines report the same peak-load
+  /// metrics governed runs do). Always on when a governor is installed.
+  bool enable_load_sensor = false;
+  LoadSensorConfig sensor;
 };
 
 /// Cache-derived aggregates a frontend needs to assemble a ProxySimResult.
-/// Summable across shards: all fields are exact sums, so merging in
-/// canonical shard order is bit-deterministic, and merging a single shard
-/// into a zero-initialized struct is the identity.
+/// Mergeable across shards: counters are exact sums and the sensor peaks
+/// merge by max (both commutative and exact), so merging in canonical shard
+/// order is bit-deterministic, and merging a single shard into a
+/// zero-initialized struct is the identity (peaks are non-negative).
 struct StackAggregates {
   double hprime_sum = 0.0;  ///< Σ per-user ĥ' estimates
   std::uint64_t prefetch_inserts = 0;
   std::uint64_t prefetch_first_uses = 0;
   std::uint64_t wasted_evictions = 0;
   std::uint64_t num_users = 0;
+  /// Prefetches the policy selected but the governor refused (admission or
+  /// depth cut) inside the measurement window.
+  std::uint64_t throttled_prefetches = 0;
+  /// Proxy-link sensor peaks over the measurement window (0 when the
+  /// sensor is off).
+  double peak_queue_depth = 0.0;
+  double peak_slowdown = 0.0;
 
   void merge(const StackAggregates& other) {
     hprime_sum += other.hprime_sum;
@@ -72,6 +94,9 @@ struct StackAggregates {
     prefetch_first_uses += other.prefetch_first_uses;
     wasted_evictions += other.wasted_evictions;
     num_users += other.num_users;
+    throttled_prefetches += other.throttled_prefetches;
+    peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+    peak_slowdown = std::max(peak_slowdown, other.peak_slowdown);
   }
 };
 
@@ -87,8 +112,10 @@ ProxySimResult assemble_stack_result(const SimMetrics& metrics,
 class StackRuntime {
  public:
   /// `predictor` and `policy` are borrowed; they must outlive the runtime.
+  /// The config is taken by value (it is move-only: the retrieval observer
+  /// and any installed governor travel with it).
   StackRuntime(Simulator& sim, Predictor& predictor, PrefetchPolicy& policy,
-               const StackRuntimeConfig& config);
+               StackRuntimeConfig config);
 
   /// Full per-request pipeline: cache access, demand fetch on miss (or
   /// attach to an in-flight transfer), predictor update, policy decision,
@@ -109,6 +136,11 @@ class StackRuntime {
 
   PsServer& server() { return server_; }
   const SimMetrics& metrics() const { return metrics_; }
+
+  /// Proxy-link sensor snapshot (all zeros / idle defaults when the sensor
+  /// is off). The sharded driver reads this at epoch barriers for the
+  /// fleet-wide setpoint exchange.
+  const LoadSignals& load_signals() const { return sensor_.signals(); }
 
   /// Cache-derived sums for result assembly and cross-shard merging.
   StackAggregates aggregates() const;
@@ -186,8 +218,13 @@ class StackRuntime {
   InflightIndex inflight_;
   std::vector<int> demand_inflight_;
   std::vector<std::vector<ItemId>> pending_prefetches_;
+  /// Proxy-link load sensor; observes at event instants the runtime
+  /// already visits, so enabling it never perturbs the simulation.
+  LinkLoadSensor sensor_;
+  bool sense_ = false;
   std::uint64_t total_requests_ = 0;
   std::uint64_t wasted_evictions_ = 0;
+  std::uint64_t throttled_prefetches_ = 0;
   bool measuring_ = true;
 };
 

@@ -16,6 +16,7 @@ void TraceReplayConfig::validate() const {
   SPECPF_EXPECTS(cache_capacity >= 1);
   SPECPF_EXPECTS(max_prefetch_per_request >= 1);
   SPECPF_EXPECTS(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+  SPECPF_EXPECTS(governor.empty() || is_governor_name(governor));
 }
 
 std::unique_ptr<Predictor> make_replay_predictor(
@@ -64,9 +65,17 @@ ProxySimResult run_trace_replay(const Trace& trace,
   runtime_config.lambda_prior = std::max(1e-9, trace.mean_request_rate());
   runtime_config.use_tree_inflight = config.use_tree_inflight;
   runtime_config.use_legacy_caches = config.use_legacy_caches;
+  runtime_config.enable_load_sensor = config.enable_load_sensor;
+  runtime_config.sensor = config.sensor;
+  std::unique_ptr<PrefetchGovernor> governor;
+  if (!config.governor.empty()) {
+    governor = make_governor_by_name(config.governor, config.governor_config);
+    SPECPF_EXPECTS(governor != nullptr);
+    runtime_config.governor = governor.get();
+  }
 
   Simulator sim;
-  StackRuntime runtime(sim, *predictor, policy, runtime_config);
+  StackRuntime runtime(sim, *predictor, policy, std::move(runtime_config));
 
   // Shift the trace so the first request fires at t = 0. The whole trace is
   // bulk-scheduled before the first pop, which lands it in the engine's

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "control/governor.hpp"
 #include "policy/policy.hpp"
 #include "predict/predictor.hpp"
 #include "sim/proxy_sim.hpp"
@@ -49,6 +50,20 @@ struct TraceReplayConfig {
   /// arena cache plane (reference for differential tests; the arena is the
   /// default).
   bool use_legacy_caches = false;
+
+  /// Prefetch governor by name (control/governor.hpp): noop, token-<rate>,
+  /// aimd-<setpoint>, conf-<precision>. Empty = ungoverned (today's
+  /// open-loop behaviour). The sharded driver builds one instance per
+  /// shard from the same name.
+  std::string governor;
+  /// Tuning knobs behind the name's primary parameter.
+  GovernorConfig governor_config;
+  /// Run the proxy-link load sensor even when ungoverned, so baselines
+  /// report the same peak-load metrics governed runs do (pure
+  /// observation: results stay bit-identical to a sensor-less run apart
+  /// from the peak_* fields themselves).
+  bool enable_load_sensor = false;
+  LoadSensorConfig sensor;
 
   void validate() const;
 };

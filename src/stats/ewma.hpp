@@ -1,0 +1,97 @@
+// Exponentially-weighted moving averages for online load sensing.
+//
+// Two flavours, matching the two kinds of signal a DES produces:
+//
+//   * HoldEwma  — continuous-time smoothing of a *piecewise-constant*
+//     signal (queue length, busy indicator). Solves dv/dt = (x(t) - v)/τ
+//     exactly between observations, where x(t) is the last observed (held)
+//     value. Because the integration is exact, the smoothed value depends
+//     only on the signal path, not on how often it was sampled — a step
+//     from v₀ to X at t₀ reads X + (v₀ - X)·exp(-(t - t₀)/τ) at any later
+//     t, regardless of how many observations happened in between. That
+//     property is what makes event-driven sampling (no periodic probe
+//     events cluttering the engine) safe.
+//
+//   * EventEwma — fixed-weight smoothing of a *per-event* measurement
+//     stream (completion slowdowns, prefetch-precision outcomes), where
+//     each event is one observation: v ← v + α·(x - v).
+//
+// Both are a handful of doubles; updating never allocates.
+#pragma once
+
+#include <cmath>
+
+namespace specpf {
+
+class HoldEwma {
+ public:
+  /// `tau` is the time constant in simulated seconds (must be > 0).
+  explicit HoldEwma(double tau = 1.0) noexcept : tau_(tau) {}
+
+  /// Records that the signal changed to `value` at `time` (>= the previous
+  /// observation time). The smoothed value first decays toward the signal
+  /// held since the last observation, then `value` becomes the held signal.
+  void observe(double time, double value) noexcept {
+    if (!started_) {
+      started_ = true;
+      last_time_ = time;
+      held_ = value;
+      value_ = value;
+      return;
+    }
+    const double dt = time - last_time_;
+    if (dt > 0.0) {
+      value_ = held_ + (value_ - held_) * std::exp(-dt / tau_);
+      last_time_ = time;
+    }
+    held_ = value;
+  }
+
+  /// Smoothed value as of the last observation.
+  double value() const noexcept { return value_; }
+
+  /// Smoothed value decayed forward to `time` (no mutation); answers "what
+  /// does the sensor read now" between observations.
+  double value_at(double time) const noexcept {
+    if (!started_ || time <= last_time_) return value_;
+    return held_ + (value_ - held_) * std::exp(-(time - last_time_) / tau_);
+  }
+
+  bool started() const noexcept { return started_; }
+  double tau() const noexcept { return tau_; }
+
+ private:
+  double tau_;
+  double last_time_ = 0.0;
+  double held_ = 0.0;
+  double value_ = 0.0;
+  bool started_ = false;
+};
+
+class EventEwma {
+ public:
+  /// `alpha` is the per-event weight in (0, 1]. `initial` pre-seeds the
+  /// average (useful for optimistic starts, e.g. predictor precision).
+  explicit EventEwma(double alpha = 0.05) noexcept : alpha_(alpha) {}
+  EventEwma(double alpha, double initial) noexcept
+      : alpha_(alpha), value_(initial), started_(true) {}
+
+  void add(double x) noexcept {
+    if (!started_) {
+      started_ = true;
+      value_ = x;
+      return;
+    }
+    value_ += alpha_ * (x - value_);
+  }
+
+  double value() const noexcept { return value_; }
+  bool started() const noexcept { return started_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace specpf

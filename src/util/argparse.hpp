@@ -47,4 +47,9 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+/// Splits a comma-separated flag value into its non-empty tokens — the
+/// shared helper behind every list-valued example flag (policies,
+/// governors, scenarios, thread counts, bandwidth sweeps).
+std::vector<std::string> split_csv(const std::string& csv);
+
 }  // namespace specpf

@@ -1,5 +1,7 @@
 #include "workload/synthetic_trace.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "util/contract.hpp"
@@ -8,17 +10,104 @@
 
 namespace specpf {
 
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+double ArrivalModulation::rate_factor(double t) const {
+  switch (kind) {
+    case Kind::kStationary:
+      return 1.0;
+    case Kind::kDiurnal:
+      return 1.0 + amplitude * std::sin(kTwoPi * t / period);
+    case Kind::kFlashCrowd:
+    case Kind::kHotspot: {
+      if (t < start || t > start + rise + hold + fall) return 1.0;
+      const double into = t - start;
+      if (into < rise) {
+        return 1.0 + (peak_factor - 1.0) * (rise > 0.0 ? into / rise : 1.0);
+      }
+      if (into <= rise + hold) return peak_factor;
+      const double out = into - rise - hold;
+      return peak_factor -
+             (peak_factor - 1.0) * (fall > 0.0 ? out / fall : 1.0);
+    }
+  }
+  SPECPF_ASSERT(false && "unreachable");
+  return 1.0;
+}
+
+double ArrivalModulation::max_rate_factor() const {
+  switch (kind) {
+    case Kind::kStationary:
+      return 1.0;
+    case Kind::kDiurnal:
+      return 1.0 + amplitude;
+    case Kind::kFlashCrowd:
+    case Kind::kHotspot:
+      return peak_factor;
+  }
+  SPECPF_ASSERT(false && "unreachable");
+  return 1.0;
+}
+
+bool ArrivalModulation::window_active(double t) const {
+  return t >= start && t <= start + rise + hold + fall;
+}
+
+void ArrivalModulation::validate() const {
+  switch (kind) {
+    case Kind::kStationary:
+      break;
+    case Kind::kDiurnal:
+      SPECPF_EXPECTS(amplitude >= 0.0 && amplitude < 1.0);
+      SPECPF_EXPECTS(period > 0.0);
+      break;
+    case Kind::kFlashCrowd:
+    case Kind::kHotspot:
+      SPECPF_EXPECTS(start >= 0.0);
+      SPECPF_EXPECTS(rise >= 0.0 && hold >= 0.0 && fall >= 0.0);
+      SPECPF_EXPECTS(peak_factor >= 1.0);
+      if (kind == Kind::kHotspot) {
+        SPECPF_EXPECTS(hot_modulus >= 1);
+        SPECPF_EXPECTS(hot_residue < hot_modulus);
+        SPECPF_EXPECTS(hot_weight >= 0.0 && hot_weight <= 1.0);
+      }
+      break;
+  }
+}
+
 void SyntheticTraceConfig::validate() const {
   SPECPF_EXPECTS(num_users >= 1);
   SPECPF_EXPECTS(num_requests >= 1);
   SPECPF_EXPECTS(request_rate > 0.0);
+  modulation.validate();
+  if (modulation.kind == ArrivalModulation::Kind::kHotspot) {
+    SPECPF_EXPECTS(modulation.hot_residue < num_users);
+  }
 }
 
 Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
   config.validate();
   SessionGraph graph(config.graph, Rng(config.seed).substream(1).next_u64());
   Rng rng(config.seed);
-  ExponentialDist gap(1.0 / config.request_rate);
+
+  const ArrivalModulation& mod = config.modulation;
+  const bool stationary = mod.kind == ArrivalModulation::Kind::kStationary;
+  const bool hotspot = mod.kind == ArrivalModulation::Kind::kHotspot;
+  const double envelope = mod.max_rate_factor();
+  // Candidate arrivals run at the envelope rate; thinning keeps each with
+  // probability rate(t)/envelope — an exact nonhomogeneous Poisson process.
+  // The stationary path takes no thinning draws at all, so it reproduces
+  // the pre-modulation generator's RNG sequence byte-for-byte.
+  const bool thinning = !stationary && envelope > 1.0;
+  ExponentialDist gap(1.0 / (config.request_rate * envelope));
+  // Hot-group size for the hotspot scenario: users with
+  // user % hot_modulus == hot_residue.
+  const std::uint64_t hot_count =
+      hotspot && config.num_users > mod.hot_residue
+          ? (config.num_users - 1 - mod.hot_residue) / mod.hot_modulus + 1
+          : 0;
 
   // Per-user session position; kIdle = between sessions. A flat vector (8
   // bytes/user) keeps the generator itself out of the hash-map business.
@@ -28,10 +117,17 @@ Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
   std::vector<TraceRecord> records;
   records.reserve(config.num_requests);
   double t = 0.0;
-  for (std::size_t i = 0; i < config.num_requests; ++i) {
+  while (records.size() < config.num_requests) {
     t += gap.sample(rng);
-    const auto user =
-        static_cast<std::uint32_t>(rng.next_u64() % config.num_users);
+    if (thinning && !rng.bernoulli(mod.rate_factor(t) / envelope)) continue;
+    std::uint32_t user;
+    if (hotspot && hot_count > 0 && mod.window_active(t) &&
+        rng.bernoulli(mod.hot_weight)) {
+      user = static_cast<std::uint32_t>(
+          mod.hot_residue + mod.hot_modulus * (rng.next_u64() % hot_count));
+    } else {
+      user = static_cast<std::uint32_t>(rng.next_u64() % config.num_users);
+    }
     std::uint64_t item;
     if (page[user] == kIdle || !graph.sample_next(page[user], rng, &item)) {
       item = graph.sample_entry(rng);  // new session (or the previous ended)
@@ -40,6 +136,54 @@ Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
     records.push_back({t, user, item});
   }
   return Trace{std::move(records)};
+}
+
+bool make_scenario_modulation(const std::string& name, double span,
+                              std::size_t shards, ArrivalModulation* out) {
+  SPECPF_EXPECTS(span > 0.0);
+  SPECPF_EXPECTS(out != nullptr);
+  ArrivalModulation mod;
+  if (name == "stationary") {
+    *out = mod;
+    return true;
+  }
+  if (name == "diurnal") {
+    mod.kind = ArrivalModulation::Kind::kDiurnal;
+    mod.amplitude = 0.6;
+    mod.period = span / 2.0;
+    *out = mod;
+    return true;
+  }
+  if (name == "flash" || name == "hotspot") {
+    // The trace has a fixed *request* budget, and the surge spends it
+    // faster: the whole trapezoid plus a recovery tail must fit within
+    // span·rate accepted arrivals. The surge's extra requests are
+    // (peak−1)·(rise/2 + hold + fall/2); both presets size the window so
+    // that extra ≈ 0.2·span, which ends the surge by ~0.5·span and leaves
+    // the trace running to ~0.8·span — the backlog-drain/recovery phase
+    // is simulated, not cut off mid-peak.
+    mod.kind = name == "flash" ? ArrivalModulation::Kind::kFlashCrowd
+                               : ArrivalModulation::Kind::kHotspot;
+    mod.start = 0.4 * span;
+    if (name == "flash") {
+      mod.peak_factor = 4.0;  // extra = 3·(0.01+0.047+0.01)·span ≈ 0.2·span
+      mod.rise = 0.02 * span;
+      mod.hold = 0.047 * span;
+      mod.fall = 0.02 * span;
+    } else {
+      mod.peak_factor = 2.5;  // extra = 1.5·(0.015+0.1+0.015)·span ≈ 0.2·span
+      mod.rise = 0.03 * span;
+      mod.hold = 0.1 * span;
+      mod.fall = 0.03 * span;
+    }
+    mod.hot_modulus = static_cast<std::uint32_t>(std::max<std::size_t>(
+        2, shards));
+    mod.hot_residue = 0;
+    mod.hot_weight = 0.7;
+    *out = mod;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace specpf

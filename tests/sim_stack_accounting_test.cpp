@@ -10,6 +10,7 @@
 //     re-read at completion).
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "des/simulator.hpp"
@@ -42,7 +43,7 @@ TEST(StackAccounting, WarmupEvictionsDoNotLeakIntoMeasurement) {
   cfg.bandwidth = 1000.0;  // transfers complete almost instantly
   cfg.num_users = 1;
   cfg.cache_capacity = 2;
-  StackRuntime runtime(sim, predictor, policy, cfg);
+  StackRuntime runtime(sim, predictor, policy, std::move(cfg));
 
   // Warmup: each request prefetches a never-touched item; capacity 2
   // guarantees untagged (wasted) evictions.
@@ -84,7 +85,7 @@ TEST(StackAccounting, DemandMissAttachingToPrefetchDefersNewPrefetches) {
   cfg.item_size = 1.0;
   cfg.num_users = 1;
   cfg.cache_capacity = 8;
-  StackRuntime runtime(sim, predictor, policy, cfg);
+  StackRuntime runtime(sim, predictor, policy, std::move(cfg));
   runtime.begin_measurement();
 
   // t=0: demand miss on item 1; prefetch of 2 is deferred (demand in
@@ -119,7 +120,7 @@ TEST(StackAccounting, WarmupSubmittedRetrievalCompletingInWindowIsCounted) {
   StackRuntimeConfig cfg;
   cfg.bandwidth = 1.0;  // 1s transfer
   cfg.num_users = 1;
-  StackRuntime runtime(sim, predictor, policy, cfg);
+  StackRuntime runtime(sim, predictor, policy, std::move(cfg));
 
   // Demand submitted at t=0 (warmup), completes at t=1.0 — inside the
   // measurement window that starts at t=0.5.

@@ -1,0 +1,173 @@
+// Analytic step-response coverage for the control plane's estimators:
+// the EWMA flavours (stats/ewma.hpp), the time-weighted averager they
+// complement (stats/time_weighted.hpp), and the LinkLoadSensor built on
+// them (control/load_sensor.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/load_sensor.hpp"
+#include "stats/ewma.hpp"
+#include "stats/time_weighted.hpp"
+
+namespace specpf {
+namespace {
+
+// --- HoldEwma ---------------------------------------------------------------
+
+// dv/dt = (x - v)/τ with a held step input has the closed form
+// v(t) = X + (v₀ - X)·e^(-(t-t₀)/τ). The discrete update must reproduce it
+// exactly, no matter how the observation times partition the interval.
+TEST(HoldEwma, StepResponseMatchesClosedForm) {
+  const double tau = 2.0;
+  HoldEwma ewma(tau);
+  ewma.observe(0.0, 0.0);  // v₀ = 0, held signal 0
+  ewma.observe(1.0, 5.0);  // step to X = 5 at t₀ = 1
+
+  // Sample at irregular instants; each reading must sit on the analytic
+  // curve v(t) = 5·(1 - e^(-(t-1)/τ)).
+  for (double t : {1.25, 1.5, 2.0, 3.0, 4.5, 9.0}) {
+    ewma.observe(t, 5.0);
+    const double expected = 5.0 * (1.0 - std::exp(-(t - 1.0) / tau));
+    EXPECT_NEAR(ewma.value(), expected, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(HoldEwma, SamplingPartitionDoesNotChangeTheAnswer) {
+  const double tau = 0.7;
+  // Same signal path — 0 until t=1, then 3.0 — sampled coarsely vs finely.
+  HoldEwma coarse(tau);
+  coarse.observe(0.0, 0.0);
+  coarse.observe(1.0, 3.0);
+  coarse.observe(6.0, 3.0);
+
+  HoldEwma fine(tau);
+  fine.observe(0.0, 0.0);
+  fine.observe(1.0, 3.0);
+  for (double t = 1.1; t < 6.05; t += 0.1) fine.observe(t, 3.0);
+  fine.observe(6.0, 3.0);
+
+  EXPECT_NEAR(coarse.value(), fine.value(), 1e-9);
+}
+
+TEST(HoldEwma, ValueAtDecaysForwardWithoutMutation) {
+  HoldEwma ewma(1.0);
+  ewma.observe(0.0, 0.0);
+  ewma.observe(0.0, 4.0);  // held signal becomes 4 at t=0, v stays 0
+  const double at2 = ewma.value_at(2.0);
+  EXPECT_NEAR(at2, 4.0 * (1.0 - std::exp(-2.0)), 1e-12);
+  EXPECT_EQ(ewma.value(), 0.0);  // read did not advance the state
+}
+
+TEST(HoldEwma, FirstObservationSeedsWithoutTransient) {
+  HoldEwma ewma(5.0);
+  ewma.observe(10.0, 7.5);
+  EXPECT_EQ(ewma.value(), 7.5);
+  ewma.observe(20.0, 7.5);
+  EXPECT_NEAR(ewma.value(), 7.5, 1e-12);  // constant signal stays put
+}
+
+// --- EventEwma --------------------------------------------------------------
+
+TEST(EventEwma, GeometricStepResponse) {
+  const double alpha = 0.25;
+  EventEwma ewma(alpha);
+  ewma.add(0.0);  // seeds at 0
+  // After n observations of X, v_n = X·(1 - (1-α)^n).
+  for (int n = 1; n <= 8; ++n) {
+    ewma.add(2.0);
+    const double expected = 2.0 * (1.0 - std::pow(1.0 - alpha, n));
+    EXPECT_NEAR(ewma.value(), expected, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(EventEwma, PreseededStartIsOptimistic) {
+  EventEwma precision(0.5, 1.0);
+  EXPECT_EQ(precision.value(), 1.0);
+  precision.add(0.0);  // one wasted prefetch
+  EXPECT_NEAR(precision.value(), 0.5, 1e-12);
+  precision.add(1.0);
+  EXPECT_NEAR(precision.value(), 0.75, 1e-12);
+}
+
+// --- TimeWeighted (satellite coverage: analytic cases) ----------------------
+
+TEST(TimeWeighted, StepFunctionAverageIsExact) {
+  TimeWeighted tw;
+  tw.start(0.0, 0.0);
+  tw.update(4.0, 10.0);  // 0 over [0,4), 10 over [4,10)
+  EXPECT_NEAR(tw.average_until(10.0), (0.0 * 4.0 + 10.0 * 6.0) / 10.0, 1e-12);
+}
+
+TEST(TimeWeighted, StaircaseAverageMatchesClosedForm) {
+  // x(t) = k over [k, k+1), k = 0..4: ∫ = 0+1+2+3+4 = 10 over 5s.
+  TimeWeighted tw;
+  tw.start(0.0, 0.0);
+  for (int k = 1; k <= 4; ++k) tw.update(static_cast<double>(k),
+                                         static_cast<double>(k));
+  EXPECT_NEAR(tw.average_until(5.0), 2.0, 1e-12);
+}
+
+TEST(TimeWeighted, RedundantUpdatesDoNotChangeTheAverage) {
+  TimeWeighted plain;
+  plain.start(0.0, 3.0);
+  TimeWeighted chatty;
+  chatty.start(0.0, 3.0);
+  for (double t = 0.5; t < 8.0; t += 0.5) chatty.update(t, 3.0);
+  EXPECT_NEAR(plain.average_until(8.0), chatty.average_until(8.0), 1e-12);
+  EXPECT_NEAR(chatty.average_until(8.0), 3.0, 1e-12);
+}
+
+TEST(TimeWeighted, CurrentTracksLastValue) {
+  TimeWeighted tw;
+  tw.start(0.0, 1.0);
+  tw.update(2.0, 6.0);
+  EXPECT_EQ(tw.current(), 6.0);
+}
+
+// --- LinkLoadSensor ---------------------------------------------------------
+
+TEST(LinkLoadSensor, QueueObservationsDriveUtilizationAndDepth) {
+  LoadSensorConfig cfg;
+  cfg.tau = 1.0;
+  LinkLoadSensor sensor(cfg);
+  sensor.observe_queue(0.0, 0);
+  EXPECT_EQ(sensor.signals().utilization, 0.0);
+  EXPECT_EQ(sensor.signals().queue_depth, 0.0);
+
+  // Queue jumps to 4 at t=0 and stays; by t=3 the EWMAs must sit on the
+  // step-response curve toward 1.0 (busy) and 4.0 (depth).
+  sensor.observe_queue(0.0, 4);
+  sensor.observe_queue(1.0, 4);
+  sensor.observe_queue(3.0, 4);
+  const double charge = 1.0 - std::exp(-3.0);
+  EXPECT_NEAR(sensor.signals().utilization, charge, 1e-12);
+  EXPECT_NEAR(sensor.signals().queue_depth, 4.0 * charge, 1e-12);
+  EXPECT_NEAR(sensor.signals().peak_queue_depth, 4.0 * charge, 1e-12);
+}
+
+TEST(LinkLoadSensor, SlowdownIsSojournOverNominal) {
+  LinkLoadSensor sensor;
+  EXPECT_EQ(sensor.signals().slowdown, 1.0);  // idle default
+  // Completion took 3x the unloaded service time; α = 0.05.
+  sensor.observe_completion(1.0, 0.3, 0.1);
+  EXPECT_NEAR(sensor.signals().slowdown, 1.0 + 0.05 * (3.0 - 1.0), 1e-12);
+  EXPECT_NEAR(sensor.signals().peak_slowdown, sensor.signals().slowdown,
+              1e-12);
+}
+
+TEST(LinkLoadSensor, ResetPeaksKeepsLearnedStateButClearsPeaks) {
+  LinkLoadSensor sensor;
+  sensor.observe_queue(0.0, 10);
+  sensor.observe_queue(5.0, 10);  // depth EWMA well charged
+  sensor.observe_queue(6.0, 2);   // load drops
+  sensor.observe_queue(9.0, 2);
+  const double before_reset = sensor.signals().queue_depth;
+  EXPECT_GT(sensor.signals().peak_queue_depth, before_reset);
+  sensor.reset_peaks();
+  EXPECT_EQ(sensor.signals().peak_queue_depth, before_reset);
+  EXPECT_EQ(sensor.signals().queue_depth, before_reset);  // state survives
+}
+
+}  // namespace
+}  // namespace specpf

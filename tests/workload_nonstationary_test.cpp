@@ -1,0 +1,220 @@
+// Nonstationary arrival modulation in the synthetic trace generator:
+// closed-form rate factors, thinning correctness (request density follows
+// the modulation), hotspot user skew, determinism, and the byte-identity
+// of the stationary path with the pre-modulation generator's RNG draws.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/sharded_sim.hpp"
+#include "util/contract.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace specpf {
+namespace {
+
+SyntheticTraceConfig base_config() {
+  SyntheticTraceConfig cfg;
+  cfg.num_users = 2000;
+  cfg.num_requests = 60000;
+  cfg.request_rate = 1000.0;
+  cfg.graph.num_pages = 100;
+  cfg.graph.out_degree = 3;
+  cfg.graph.exit_probability = 0.25;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Requests per second inside [t0, t1).
+double density(const Trace& trace, double t0, double t1) {
+  std::size_t n = 0;
+  for (const auto& r : trace.records()) {
+    if (r.time >= t0 && r.time < t1) ++n;
+  }
+  return static_cast<double>(n) / (t1 - t0);
+}
+
+TEST(ArrivalModulation, RateFactorClosedForms) {
+  ArrivalModulation mod;
+  EXPECT_EQ(mod.rate_factor(123.0), 1.0);
+  EXPECT_EQ(mod.max_rate_factor(), 1.0);
+
+  mod.kind = ArrivalModulation::Kind::kDiurnal;
+  mod.amplitude = 0.5;
+  mod.period = 4.0;
+  EXPECT_NEAR(mod.rate_factor(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(mod.rate_factor(1.0), 1.5, 1e-12);  // sin peak at period/4
+  EXPECT_NEAR(mod.rate_factor(3.0), 0.5, 1e-12);  // trough
+  EXPECT_NEAR(mod.max_rate_factor(), 1.5, 1e-12);
+
+  mod.kind = ArrivalModulation::Kind::kFlashCrowd;
+  mod.start = 10.0;
+  mod.rise = 2.0;
+  mod.hold = 4.0;
+  mod.fall = 2.0;
+  mod.peak_factor = 5.0;
+  EXPECT_EQ(mod.rate_factor(9.9), 1.0);
+  EXPECT_NEAR(mod.rate_factor(11.0), 3.0, 1e-12);   // mid-ramp
+  EXPECT_NEAR(mod.rate_factor(13.0), 5.0, 1e-12);   // plateau
+  EXPECT_NEAR(mod.rate_factor(17.0), 3.0, 1e-12);   // mid-fall
+  EXPECT_EQ(mod.rate_factor(18.1), 1.0);
+  EXPECT_EQ(mod.max_rate_factor(), 5.0);
+  EXPECT_TRUE(mod.window_active(12.0));
+  EXPECT_FALSE(mod.window_active(19.0));
+}
+
+TEST(SyntheticTrace, StationaryPathIsByteIdenticalToLegacyGenerator) {
+  // The stationary generator must draw the exact RNG sequence the
+  // pre-modulation implementation drew. This literal reimplementation of
+  // the legacy loop pins it.
+  SyntheticTraceConfig cfg = base_config();
+  cfg.num_requests = 5000;
+  const Trace trace = generate_synthetic_trace(cfg);
+
+  SessionGraph graph(cfg.graph, Rng(cfg.seed).substream(1).next_u64());
+  Rng rng(cfg.seed);
+  ExponentialDist gap(1.0 / cfg.request_rate);
+  constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  std::vector<std::uint64_t> page(cfg.num_users, kIdle);
+  double t = 0.0;
+  ASSERT_EQ(trace.size(), cfg.num_requests);
+  for (std::size_t i = 0; i < cfg.num_requests; ++i) {
+    t += gap.sample(rng);
+    const auto user =
+        static_cast<std::uint32_t>(rng.next_u64() % cfg.num_users);
+    std::uint64_t item;
+    if (page[user] == kIdle || !graph.sample_next(page[user], rng, &item)) {
+      item = graph.sample_entry(rng);
+    }
+    page[user] = item;
+    const TraceRecord& r = trace.records()[i];
+    ASSERT_EQ(r.time, t);
+    ASSERT_EQ(r.user, user);
+    ASSERT_EQ(r.item, item);
+  }
+}
+
+TEST(SyntheticTrace, FlashCrowdConcentratesRequestsInWindow) {
+  SyntheticTraceConfig cfg = base_config();
+  cfg.modulation.kind = ArrivalModulation::Kind::kFlashCrowd;
+  cfg.modulation.start = 20.0;
+  cfg.modulation.rise = 2.0;
+  cfg.modulation.hold = 10.0;
+  cfg.modulation.fall = 2.0;
+  cfg.modulation.peak_factor = 4.0;
+  const Trace trace = generate_synthetic_trace(cfg);
+
+  ASSERT_EQ(trace.size(), cfg.num_requests);
+  EXPECT_TRUE(trace.is_time_ordered());
+  const double before = density(trace, 5.0, 18.0);
+  const double during = density(trace, 23.0, 31.0);
+  // Thinning should realise ~4x the base density on the plateau.
+  EXPECT_GT(during, 3.2 * before);
+  EXPECT_LT(during, 4.8 * before);
+  EXPECT_NEAR(before, cfg.request_rate, 0.15 * cfg.request_rate);
+}
+
+TEST(SyntheticTrace, DiurnalPeakAndTroughFollowTheSine) {
+  SyntheticTraceConfig cfg = base_config();
+  cfg.modulation.kind = ArrivalModulation::Kind::kDiurnal;
+  cfg.modulation.amplitude = 0.8;
+  cfg.modulation.period = 40.0;
+  const Trace trace = generate_synthetic_trace(cfg);
+
+  EXPECT_TRUE(trace.is_time_ordered());
+  // Peak near t = 10 (sin = 1), trough near t = 30 (sin = -1).
+  const double peak = density(trace, 8.0, 12.0);
+  const double trough = density(trace, 28.0, 32.0);
+  EXPECT_GT(peak, 4.0 * trough);  // 1.8 / 0.2 = 9x in expectation
+}
+
+TEST(SyntheticTrace, HotspotSkewsUsersOntoOneShard) {
+  SyntheticTraceConfig cfg = base_config();
+  cfg.modulation.kind = ArrivalModulation::Kind::kHotspot;
+  cfg.modulation.start = 15.0;
+  cfg.modulation.rise = 1.0;
+  cfg.modulation.hold = 10.0;
+  cfg.modulation.fall = 1.0;
+  cfg.modulation.peak_factor = 2.0;
+  cfg.modulation.hot_modulus = 8;
+  cfg.modulation.hot_residue = 3;
+  cfg.modulation.hot_weight = 0.8;
+  const Trace trace = generate_synthetic_trace(cfg);
+
+  std::size_t hot_in = 0, total_in = 0, hot_out = 0, total_out = 0;
+  for (const auto& r : trace.records()) {
+    const bool hot = r.user % 8 == 3;
+    if (cfg.modulation.window_active(r.time)) {
+      ++total_in;
+      if (hot) ++hot_in;
+    } else {
+      ++total_out;
+      if (hot) ++hot_out;
+    }
+  }
+  ASSERT_GT(total_in, 1000u);
+  ASSERT_GT(total_out, 1000u);
+  const double in_frac =
+      static_cast<double>(hot_in) / static_cast<double>(total_in);
+  const double out_frac =
+      static_cast<double>(hot_out) / static_cast<double>(total_out);
+  // In-window: 0.8 + 0.2/8 = 0.825 expected; outside: 1/8.
+  EXPECT_NEAR(in_frac, 0.825, 0.03);
+  EXPECT_NEAR(out_frac, 0.125, 0.03);
+  // Hot users are exactly shard 3's population at 8 shards.
+  EXPECT_EQ(ShardedSim::shard_of_user(3 + 8 * 17, 8), 3u);
+}
+
+TEST(SyntheticTrace, ModulatedGenerationIsDeterministic) {
+  SyntheticTraceConfig cfg = base_config();
+  cfg.num_requests = 20000;
+  cfg.modulation.kind = ArrivalModulation::Kind::kFlashCrowd;
+  cfg.modulation.start = 10.0;
+  cfg.modulation.peak_factor = 3.0;
+  const Trace a = generate_synthetic_trace(cfg);
+  const Trace b = generate_synthetic_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].time, b.records()[i].time);
+    EXPECT_EQ(a.records()[i].user, b.records()[i].user);
+    EXPECT_EQ(a.records()[i].item, b.records()[i].item);
+  }
+}
+
+TEST(SyntheticTrace, ScenarioPresetsResolveByName) {
+  ArrivalModulation mod;
+  EXPECT_TRUE(make_scenario_modulation("stationary", 100.0, 4, &mod));
+  EXPECT_EQ(mod.kind, ArrivalModulation::Kind::kStationary);
+  EXPECT_TRUE(make_scenario_modulation("diurnal", 100.0, 4, &mod));
+  EXPECT_EQ(mod.kind, ArrivalModulation::Kind::kDiurnal);
+  EXPECT_NEAR(mod.period, 50.0, 1e-12);
+  EXPECT_TRUE(make_scenario_modulation("flash", 100.0, 4, &mod));
+  EXPECT_EQ(mod.kind, ArrivalModulation::Kind::kFlashCrowd);
+  EXPECT_NEAR(mod.start, 40.0, 1e-12);
+  EXPECT_TRUE(make_scenario_modulation("hotspot", 100.0, 4, &mod));
+  EXPECT_EQ(mod.kind, ArrivalModulation::Kind::kHotspot);
+  EXPECT_EQ(mod.hot_modulus, 4u);
+  EXPECT_FALSE(make_scenario_modulation("nope", 100.0, 4, &mod));
+}
+
+TEST(ArrivalModulation, ValidationRejectsBadShapes) {
+  SyntheticTraceConfig cfg = base_config();
+  cfg.modulation.kind = ArrivalModulation::Kind::kDiurnal;
+  cfg.modulation.amplitude = 1.5;
+  EXPECT_THROW(generate_synthetic_trace(cfg), ContractViolation);
+  cfg.modulation.amplitude = 0.5;
+  cfg.modulation.period = 0.0;
+  EXPECT_THROW(generate_synthetic_trace(cfg), ContractViolation);
+
+  cfg = base_config();
+  cfg.modulation.kind = ArrivalModulation::Kind::kHotspot;
+  cfg.modulation.hot_residue = 9;
+  cfg.modulation.hot_modulus = 8;
+  EXPECT_THROW(generate_synthetic_trace(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace specpf
