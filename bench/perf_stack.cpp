@@ -6,19 +6,26 @@
 //
 // The "tree" numbers run the same code with the legacy std::map in-flight
 // backend (StackRuntimeConfig::use_tree_inflight), the exact baseline the
-// flat-hash data plane replaced.
+// flat-hash data plane replaced. The "legacy" predictor numbers run the
+// original virtual Predictor tables (use_legacy_predictors), the baseline
+// the slab-backed predictor plane replaced.
 //
-// Usage: perf_stack [output.json]   (default: BENCH_stack.json)
+// Usage: perf_stack [output.json] [--check-plane-speedup]
+//   (default output: BENCH_stack.json; --check-plane-speedup exits nonzero
+//    if any plane predictor benches slower than its legacy table, with a
+//    small noise tolerance — the CI perf-smoke regression gate)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "policy/policies.hpp"
-#include "predict/markov.hpp"
-#include "predict/ppm.hpp"
+#include "predict/predictor_plane.hpp"
 #include "sim/proxy_sim.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/flat_hash.hpp"
@@ -120,35 +127,91 @@ double bench_churn_tree(std::uint64_t* checksum) {
   });
 }
 
-/// Feeds a session-structured stream through a predictor with one
-/// observe + predict(8) per event — the stack's per-request predictor cost.
-template <typename P>
-double bench_predictor(std::size_t events) {
-  SessionGraphConfig gcfg;
-  gcfg.num_pages = 400;
-  gcfg.out_degree = 3;
-  SessionGraph graph(gcfg, 7);
+/// Interleaved per-user session walks, so each user's sequence is a real
+/// first-order chain (what the predictors' tables see in the stack).
+constexpr std::size_t kPredictorUsers = 256;
+
+std::vector<std::pair<UserId, std::uint64_t>> make_predictor_stream(
+    const SessionGraph& graph, std::size_t events) {
   std::vector<std::pair<UserId, std::uint64_t>> stream;
   stream.reserve(events);
   Rng rng(9);
-  // Interleaved per-user session walks, so each user's sequence is a real
-  // first-order chain (what the predictors' tables see in the stack).
-  constexpr std::size_t kUsers = 256;
-  std::vector<std::uint64_t> page(kUsers);
-  for (std::size_t u = 0; u < kUsers; ++u) page[u] = graph.sample_entry(rng);
+  std::vector<std::uint64_t> page(kPredictorUsers);
+  for (std::size_t u = 0; u < kPredictorUsers; ++u) {
+    page[u] = graph.sample_entry(rng);
+  }
   for (std::size_t i = 0; i < events; ++i) {
-    const std::size_t u = rng.next_u64() % kUsers;
+    const std::size_t u = rng.next_u64() % kPredictorUsers;
     stream.emplace_back(static_cast<UserId>(u), page[u]);
     if (!graph.sample_next(page[u], rng, &page[u])) {
       page[u] = graph.sample_entry(rng);
     }
   }
+  return stream;
+}
+
+std::unique_ptr<PredictorPlane> make_bench_plane(PredictorKind kind,
+                                                 const SessionGraph& graph,
+                                                 bool use_legacy) {
+  PredictorPlaneConfig config;
+  config.num_users = kPredictorUsers;
+  config.graph = &graph;
+  return make_predictor_plane(kind, config, use_legacy);
+}
+
+/// Replays a prefix of the stream through both backends, comparing
+/// predictions exactly — a cheap pre-timing guard so the perf gate can
+/// never bless a plane that silently diverged from the legacy tables.
+bool predictor_backends_agree(
+    PredictorKind kind, const SessionGraph& graph,
+    const std::vector<std::pair<UserId, std::uint64_t>>& stream) {
+  auto plane = make_bench_plane(kind, graph, false);
+  auto legacy = make_bench_plane(kind, graph, true);
+  std::vector<core::Candidate> got, want;
+  const std::size_t prefix = std::min<std::size_t>(stream.size(), 20000);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const auto& [user, item] = stream[i];
+    plane->observe(user, item);
+    legacy->observe(user, item);
+    if (i % 16 != 0) continue;
+    plane->predict_into(user, 8, got);
+    legacy->predict_into(user, 8, want);
+    if (got.size() != want.size()) return false;
+    for (std::size_t c = 0; c < got.size(); ++c) {
+      if (got[c].item != want[c].item ||
+          got[c].probability != want[c].probability) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Observe-throughput phase: table construction from a cold start, no
+/// prediction — isolates intern/counter-bump cost.
+double bench_predictor_observe(
+    PredictorKind kind, const SessionGraph& graph, bool use_legacy,
+    const std::vector<std::pair<UserId, std::uint64_t>>& stream) {
   return best_time([&] {
-    P predictor;
+    auto predictor = make_bench_plane(kind, graph, use_legacy);
+    for (const auto& [user, item] : stream) predictor->observe(user, item);
+  });
+}
+
+/// Predict-throughput phase: tables pre-built outside the timer, one
+/// predict_into(8) per event into a reused scratch buffer — isolates
+/// ranking/top-k cost.
+double bench_predictor_predict(
+    PredictorKind kind, const SessionGraph& graph, bool use_legacy,
+    const std::vector<std::pair<UserId, std::uint64_t>>& stream) {
+  auto predictor = make_bench_plane(kind, graph, use_legacy);
+  for (const auto& [user, item] : stream) predictor->observe(user, item);
+  std::vector<core::Candidate> scratch;
+  return best_time([&] {
     std::size_t sink = 0;
     for (const auto& [user, item] : stream) {
-      predictor.observe(user, item);
-      sink += predictor.predict(user, 8).size();
+      predictor->predict_into(user, 8, scratch);
+      sink += scratch.size();
     }
     if (sink == 0) std::fprintf(stderr, "predictor produced nothing\n");
   });
@@ -201,7 +264,15 @@ double bench_trace_replay(bool use_tree, std::uint64_t* requests_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* path = argc > 1 ? argv[1] : "BENCH_stack.json";
+  const char* path = "BENCH_stack.json";
+  bool check_plane_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-plane-speedup") == 0) {
+      check_plane_speedup = true;
+    } else {
+      path = argv[i];
+    }
+  }
   std::vector<Metric> metrics;
 
   std::uint64_t flat_checksum = 0, tree_checksum = 0;
@@ -221,15 +292,53 @@ int main(int argc, char** argv) {
   metrics.push_back({"stack.inflight_churn.flat_vs_tree_speedup",
                      tree_churn_secs / flat_churn_secs, "x"});
 
+  // Predictor plane vs legacy tables: all five kinds, observe and predict
+  // phases timed separately over one shared session-structured stream.
   const std::size_t kPredictorEvents = 200000;
-  const double markov_secs = bench_predictor<MarkovPredictor>(kPredictorEvents);
-  metrics.push_back({"stack.predictor.markov_events_per_sec",
-                     static_cast<double>(kPredictorEvents) / markov_secs,
-                     "events/s"});
-  const double ppm_secs = bench_predictor<PpmPredictor>(kPredictorEvents);
-  metrics.push_back({"stack.predictor.ppm_events_per_sec",
-                     static_cast<double>(kPredictorEvents) / ppm_secs,
-                     "events/s"});
+  SessionGraphConfig pred_gcfg;
+  pred_gcfg.num_pages = 400;
+  pred_gcfg.out_degree = 3;
+  const SessionGraph pred_graph(pred_gcfg, 7);
+  const auto pred_stream = make_predictor_stream(pred_graph, kPredictorEvents);
+  const double pred_events = static_cast<double>(kPredictorEvents);
+  bool plane_regressed = false;
+  for (int k = 0; k < kNumPredictorKinds; ++k) {
+    const auto kind = static_cast<PredictorKind>(k);
+    const std::string name = predictor_kind_name(kind);
+    if (!predictor_backends_agree(kind, pred_graph, pred_stream)) {
+      std::fprintf(stderr, "%s plane diverged from legacy tables\n",
+                   name.c_str());
+      return 1;
+    }
+    const double op = bench_predictor_observe(kind, pred_graph, false,
+                                              pred_stream);
+    const double ol = bench_predictor_observe(kind, pred_graph, true,
+                                              pred_stream);
+    const double pp = bench_predictor_predict(kind, pred_graph, false,
+                                              pred_stream);
+    const double pl = bench_predictor_predict(kind, pred_graph, true,
+                                              pred_stream);
+    metrics.push_back({"stack.predictor." + name + ".observe_plane_events_per_sec",
+                       pred_events / op, "events/s"});
+    metrics.push_back({"stack.predictor." + name + ".observe_legacy_events_per_sec",
+                       pred_events / ol, "events/s"});
+    metrics.push_back({"stack.predictor." + name + ".predict_plane_events_per_sec",
+                       pred_events / pp, "events/s"});
+    metrics.push_back({"stack.predictor." + name + ".predict_legacy_events_per_sec",
+                       pred_events / pl, "events/s"});
+    // Combined observe+predict speedup — what a stack request actually pays.
+    const double speedup = (ol + pl) / (op + pp);
+    metrics.push_back({"stack.predictor." + name + ".plane_vs_legacy_speedup",
+                       speedup, "x"});
+    // 5% tolerance absorbs timer noise on the cheap kinds without letting a
+    // real regression through.
+    if (speedup < 0.95) {
+      std::fprintf(stderr, "%s plane slower than legacy: %.3fx\n",
+                   name.c_str(), speedup);
+      plane_regressed = true;
+    }
+  }
+  if (check_plane_speedup && plane_regressed) return 1;
 
   std::uint64_t proxy_flat_requests = 0, proxy_tree_requests = 0;
   const double proxy_flat_secs = bench_proxy_sim(false, &proxy_flat_requests);

@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
   args.add_flag("legacy-caches", "false",
                 "run the legacy per-user TaggedCache fleet instead of the "
                 "slab-backed arena cache plane");
+  args.add_flag("legacy-predictors", "false",
+                "run the legacy virtual Predictor tables instead of the "
+                "slab-backed SoA predictor plane");
   if (!args.parse(argc, argv)) return 1;
 
   SyntheticTraceConfig trace_cfg;
@@ -103,6 +106,7 @@ int main(int argc, char** argv) {
   replay_cfg.max_prefetch_per_request = 4;
   replay_cfg.seed = trace_cfg.seed;
   replay_cfg.use_legacy_caches = args.get_bool("legacy-caches");
+  replay_cfg.use_legacy_predictors = args.get_bool("legacy-predictors");
   replay_cfg.governor = args.get_string("governor");
 
   Table table({"policy", "access time", "hit ratio", "rho", "demand jobs",

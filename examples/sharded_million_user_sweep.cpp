@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
   args.add_flag("legacy-caches", "false",
                 "run the legacy per-user TaggedCache fleet instead of the "
                 "slab-backed arena cache plane");
+  args.add_flag("legacy-predictors", "false",
+                "run the legacy virtual Predictor tables instead of the "
+                "slab-backed SoA predictor plane");
   if (!args.parse(argc, argv)) return 1;
 
   SyntheticTraceConfig trace_cfg;
@@ -106,6 +109,7 @@ int main(int argc, char** argv) {
   cfg.stack.max_prefetch_per_request = 4;
   cfg.stack.seed = trace_cfg.seed;
   cfg.stack.use_legacy_caches = args.get_bool("legacy-caches");
+  cfg.stack.use_legacy_predictors = args.get_bool("legacy-predictors");
   cfg.num_shards = static_cast<std::size_t>(args.get_int("shards"));
   cfg.backbone_bandwidth = args.get_double("backbone-bandwidth");
   cfg.backbone_latency = args.get_double("backbone-latency");

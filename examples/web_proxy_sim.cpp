@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   args.add_flag("link-skew", "1.4", "Zipf skew across a page's links");
   args.add_flag("seed", "2001", "random seed");
   args.add_flag("predictor", "markov", "markov|ppm|depgraph|frequency|oracle");
+  args.add_flag("legacy-predictors", "0",
+                "1 = legacy virtual tables instead of the SoA plane");
   if (!args.parse(argc, argv)) return 1;
 
   ProxySimConfig cfg;
@@ -42,17 +44,11 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   const std::string predictor = args.get_string("predictor");
-  if (predictor == "ppm") {
-    cfg.predictor_kind = ProxySimConfig::PredictorKind::kPpm;
-  } else if (predictor == "depgraph") {
-    cfg.predictor_kind = ProxySimConfig::PredictorKind::kDependencyGraph;
-  } else if (predictor == "frequency") {
-    cfg.predictor_kind = ProxySimConfig::PredictorKind::kFrequency;
-  } else if (predictor == "oracle") {
-    cfg.predictor_kind = ProxySimConfig::PredictorKind::kOracle;
-  } else {
-    cfg.predictor_kind = ProxySimConfig::PredictorKind::kMarkov;
+  if (!parse_predictor_kind(predictor, &cfg.predictor_kind)) {
+    std::fprintf(stderr, "unknown predictor '%s'\n", predictor.c_str());
+    return 1;
   }
+  cfg.use_legacy_predictors = args.get_int("legacy-predictors") != 0;
 
   std::printf("web proxy: %zu clients, b=%.0f, %zu pages, predictor=%s\n\n",
               cfg.num_users, cfg.bandwidth, cfg.graph.num_pages,

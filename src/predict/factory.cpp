@@ -1,0 +1,35 @@
+#include "predict/factory.hpp"
+
+#include "util/contract.hpp"
+
+namespace specpf {
+
+const char* predictor_kind_name(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kMarkov:
+      return "markov";
+    case PredictorKind::kPpm:
+      return "ppm";
+    case PredictorKind::kDependencyGraph:
+      return "depgraph";
+    case PredictorKind::kFrequency:
+      return "frequency";
+    case PredictorKind::kOracle:
+      return "oracle";
+  }
+  SPECPF_ASSERT(false && "unreachable");
+  return "?";
+}
+
+bool parse_predictor_kind(std::string_view name, PredictorKind* out) {
+  for (int i = 0; i < kNumPredictorKinds; ++i) {
+    const PredictorKind kind = static_cast<PredictorKind>(i);
+    if (name == predictor_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace specpf

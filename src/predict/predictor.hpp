@@ -29,6 +29,16 @@ class Predictor {
   /// entries, highest probability first.
   virtual std::vector<Candidate> predict(UserId user,
                                          std::size_t max_candidates) const = 0;
+
+  /// Scratch-buffer variant: replaces the contents of `out` with the same
+  /// prediction predict() returns. Callers that reuse one buffer avoid the
+  /// per-call vector allocation; the default forwards to predict() (these
+  /// legacy tables are the pinned baseline — the allocation-free hot path
+  /// is predict/predictor_plane.hpp).
+  virtual void predict_into(UserId user, std::size_t max_candidates,
+                            std::vector<Candidate>& out) const {
+    out = predict(user, max_candidates);
+  }
 };
 
 }  // namespace specpf

@@ -1,0 +1,89 @@
+// PredictorPlane — the slab-backed SoA access-model layer behind
+// StackRuntime, built the way cache/cache_plane.hpp rebuilt the caches.
+//
+// One plane owns a predictor's entire table state in a shared ContextArena
+// (predict/context_arena.hpp): contexts interned through FlatIndexMap,
+// successor lists threaded through one u32-linked slab, counts quantized to
+// saturating u16 counters with periodic halving, and per-user history kept
+// as fixed ring buffers in a user-indexed slab. Prediction writes into a
+// caller-provided scratch buffer (predict_into) and ranks candidates with a
+// partial top-k select instead of a full sort, so the stack's hot path does
+// zero allocation per request.
+//
+// Two backends behind make_predictor_plane, exactly like make_cache_plane:
+//
+//   * the arena planes (default) — one concrete class per PredictorKind,
+//     dispatched once per run;
+//   * LegacyPredictorPlane — the original virtual `Predictor` tables
+//     (predict/{frequency,markov,ppm,dependency_graph,oracle}.hpp), kept
+//     behind use_legacy_predictors (same pattern as use_tree_inflight and
+//     use_legacy_caches) as the pinned differential baseline.
+//
+// Below the counter-saturation point both backends compute identical
+// arithmetic; tests/predict_plane_test.cpp fuzzes bit-identical predict
+// output and the sim_stack_differential matrix pins the full stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "predict/factory.hpp"
+
+namespace specpf {
+
+class SessionGraph;  // workload/session_graph.hpp (oracle backend only)
+
+using UserId = std::uint32_t;
+
+struct PredictorPlaneConfig {
+  /// Users are dense ids in [0, num_users); per-user history lives in a
+  /// user-indexed slab, so the plane must know the fleet size up front.
+  std::size_t num_users = 1;
+  std::size_t ppm_order = 3;            ///< PPM: longest context length
+  std::size_t depgraph_lookahead = 4;   ///< dependency graph window w
+  double markov_laplace = 0.0;          ///< Markov add-α smoothing
+  /// Generating graph, required for kOracle (borrowed; must outlive the
+  /// plane). Ignored by every other kind.
+  const SessionGraph* graph = nullptr;
+};
+
+class PredictorPlane {
+ public:
+  virtual ~PredictorPlane() = default;
+
+  /// Feeds one observed access into the model.
+  virtual void observe(UserId user, std::uint64_t item) = 0;
+
+  /// Predicts the next-access distribution for `user` after their latest
+  /// observed access, replacing the contents of `out`: at most
+  /// `max_candidates` entries, highest probability first (probability ties
+  /// broken by ascending item). `out` may be left empty when the model has
+  /// no basis for prediction. Reusing one buffer across calls makes the
+  /// steady state allocation-free.
+  virtual void predict_into(UserId user, std::size_t max_candidates,
+                            std::vector<core::Candidate>& out) const = 0;
+
+  /// Convenience wrapper for tests and reports (allocates; the stack's hot
+  /// path uses predict_into with a reused scratch buffer).
+  std::vector<core::Candidate> predict(UserId user,
+                                       std::size_t max_candidates) const {
+    std::vector<core::Candidate> out;
+    predict_into(user, max_candidates, out);
+    return out;
+  }
+
+  /// Counter-halving events so far (0 on the legacy backend, which grows
+  /// u64 counts instead of quantizing).
+  virtual std::uint64_t counter_halvings() const { return 0; }
+};
+
+/// Builds the predictor plane for `kind`: the arena backend by default, the
+/// legacy virtual Predictor tables when `use_legacy` is set. This switch is
+/// the once-per-run model dispatch — everything after it is monomorphic
+/// (one virtual hop into the plane per observe/predict, total).
+std::unique_ptr<PredictorPlane> make_predictor_plane(
+    PredictorKind kind, const PredictorPlaneConfig& config, bool use_legacy);
+
+}  // namespace specpf

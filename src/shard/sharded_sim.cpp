@@ -31,7 +31,7 @@ struct ShardedSim::Shard {
 
   std::uint32_t id = 0;
   Simulator sim;
-  std::unique_ptr<Predictor> predictor;
+  std::unique_ptr<PredictorPlane> predictor;
   std::unique_ptr<PrefetchPolicy> policy;
   std::unique_ptr<OriginLink> origin;
   /// Shard-local prefetch governor (null when the run is ungoverned).
@@ -119,7 +119,9 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
       if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
     }
 
-    shard->predictor = make_replay_predictor(config.stack.predictor_kind);
+    shard->predictor =
+        make_replay_predictor(config.stack.predictor_kind, user_index.size(),
+                              config.stack.use_legacy_predictors);
     shard->policy = make_policy();
     if (policy_name_.empty()) policy_name_ = shard->policy->name();
 

@@ -3,11 +3,7 @@
 #include <functional>
 
 #include "des/simulator.hpp"
-#include "predict/dependency_graph.hpp"
-#include "predict/frequency.hpp"
-#include "predict/markov.hpp"
-#include "predict/oracle.hpp"
-#include "predict/ppm.hpp"
+#include "predict/predictor_plane.hpp"
 #include "sim/stack_runtime.hpp"
 #include "util/contract.hpp"
 #include "workload/request_stream.hpp"
@@ -28,22 +24,13 @@ void ProxySimConfig::validate() const {
 
 namespace {
 
-std::unique_ptr<Predictor> make_predictor(const ProxySimConfig& config,
-                                          const SessionGraph& graph) {
-  switch (config.predictor_kind) {
-    case ProxySimConfig::PredictorKind::kMarkov:
-      return std::make_unique<MarkovPredictor>();
-    case ProxySimConfig::PredictorKind::kPpm:
-      return std::make_unique<PpmPredictor>(3);
-    case ProxySimConfig::PredictorKind::kDependencyGraph:
-      return std::make_unique<DependencyGraphPredictor>(4);
-    case ProxySimConfig::PredictorKind::kFrequency:
-      return std::make_unique<FrequencyPredictor>();
-    case ProxySimConfig::PredictorKind::kOracle:
-      return std::make_unique<OraclePredictor>(graph);
-  }
-  SPECPF_ASSERT(false && "unreachable");
-  return nullptr;
+std::unique_ptr<PredictorPlane> make_predictor(const ProxySimConfig& config,
+                                               const SessionGraph& graph) {
+  PredictorPlaneConfig plane_config;
+  plane_config.num_users = config.num_users;
+  plane_config.graph = &graph;
+  return make_predictor_plane(config.predictor_kind, plane_config,
+                              config.use_legacy_predictors);
 }
 
 }  // namespace

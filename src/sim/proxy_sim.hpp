@@ -21,6 +21,7 @@
 
 #include "cache/factory.hpp"
 #include "policy/policy.hpp"
+#include "predict/factory.hpp"
 #include "sim/metrics.hpp"
 #include "workload/session_graph.hpp"
 
@@ -40,13 +41,9 @@ struct ProxySimConfig {
   using CacheKind = specpf::CacheKind;
   CacheKind cache_kind = CacheKind::kLru;
 
-  enum class PredictorKind {
-    kMarkov,
-    kPpm,
-    kDependencyGraph,
-    kFrequency,
-    kOracle,
-  } predictor_kind = PredictorKind::kOracle;
+  /// Access model (the fleet-wide enum from predict/factory.hpp).
+  using PredictorKind = specpf::PredictorKind;
+  PredictorKind predictor_kind = PredictorKind::kOracle;
 
   /// Which interaction model the online ĥ' estimate assumes.
   core::InteractionModel estimator_model = core::InteractionModel::kModelA;
@@ -65,6 +62,11 @@ struct ProxySimConfig {
   /// arena cache plane (reference for differential tests; the arena is the
   /// default).
   bool use_legacy_caches = false;
+
+  /// Use the legacy virtual Predictor tables instead of the slab-backed
+  /// SoA predictor plane (reference for differential tests and the
+  /// perf_stack baseline; the plane is the default).
+  bool use_legacy_predictors = false;
 
   void validate() const;
 };

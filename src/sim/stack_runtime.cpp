@@ -8,7 +8,7 @@
 
 namespace specpf {
 
-StackRuntime::StackRuntime(Simulator& sim, Predictor& predictor,
+StackRuntime::StackRuntime(Simulator& sim, PredictorPlane& predictor,
                            PrefetchPolicy& policy, StackRuntimeConfig config)
     : sim_(sim),
       predictor_(predictor),
@@ -185,19 +185,18 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
   refresh_estimate(user);
 
   predictor_.observe(user, item);
-  const auto predictions =
-      predictor_.predict(user, config_.max_prefetch_per_request);
-  if (predictions.empty()) return;
-  std::vector<core::Candidate> viable;
-  viable.reserve(predictions.size());
-  for (const auto& c : predictions) {
+  predictor_.predict_into(user, config_.max_prefetch_per_request,
+                          prediction_scratch_);
+  if (prediction_scratch_.empty()) return;
+  viable_scratch_.clear();
+  for (const auto& c : prediction_scratch_) {
     if (c.item == item) continue;
     if (caches_->contains(user, c.item)) continue;
     if (inflight_.contains(inflight_key(user, c.item))) continue;
-    viable.push_back(c);
+    viable_scratch_.push_back(c);
   }
-  if (viable.empty()) return;
-  const auto selected = policy_.select(viable, current_context());
+  if (viable_scratch_.empty()) return;
+  const auto selected = policy_.select(viable_scratch_, current_context());
   PrefetchGovernor* governor = config_.governor;
   std::size_t depth_budget = selected.size();
   if (governor) {

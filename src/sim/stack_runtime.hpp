@@ -21,7 +21,7 @@
 #include "des/simulator.hpp"
 #include "net/ps_server.hpp"
 #include "policy/policy.hpp"
-#include "predict/predictor.hpp"
+#include "predict/predictor_plane.hpp"
 #include "sim/metrics.hpp"
 #include "util/flat_hash.hpp"
 
@@ -114,8 +114,8 @@ class StackRuntime {
   /// `predictor` and `policy` are borrowed; they must outlive the runtime.
   /// The config is taken by value (it is move-only: the retrieval observer
   /// and any installed governor travel with it).
-  StackRuntime(Simulator& sim, Predictor& predictor, PrefetchPolicy& policy,
-               StackRuntimeConfig config);
+  StackRuntime(Simulator& sim, PredictorPlane& predictor,
+               PrefetchPolicy& policy, StackRuntimeConfig config);
 
   /// Full per-request pipeline: cache access, demand fetch on miss (or
   /// attach to an in-flight transfer), predictor update, policy decision,
@@ -204,7 +204,7 @@ class StackRuntime {
   void refresh_estimate(UserId user);
 
   Simulator& sim_;
-  Predictor& predictor_;
+  PredictorPlane& predictor_;
   PrefetchPolicy& policy_;
   StackRuntimeConfig config_;
 
@@ -218,6 +218,11 @@ class StackRuntime {
   InflightIndex inflight_;
   std::vector<int> demand_inflight_;
   std::vector<std::vector<ItemId>> pending_prefetches_;
+  /// Reused per-request scratch for the predictor plane's predict_into and
+  /// the policy's viable-candidate filter: the predict hot path allocates
+  /// nothing once the buffers reach steady-state capacity.
+  std::vector<core::Candidate> prediction_scratch_;
+  std::vector<core::Candidate> viable_scratch_;
   /// Proxy-link load sensor; observes at event instants the runtime
   /// already visits, so enabling it never perturbs the simulation.
   LinkLoadSensor sensor_;

@@ -1,10 +1,6 @@
 #include "sim/trace_replay.hpp"
 
 #include "des/simulator.hpp"
-#include "predict/dependency_graph.hpp"
-#include "predict/frequency.hpp"
-#include "predict/markov.hpp"
-#include "predict/ppm.hpp"
 #include "sim/stack_runtime.hpp"
 #include "util/contract.hpp"
 
@@ -17,22 +13,17 @@ void TraceReplayConfig::validate() const {
   SPECPF_EXPECTS(max_prefetch_per_request >= 1);
   SPECPF_EXPECTS(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
   SPECPF_EXPECTS(governor.empty() || is_governor_name(governor));
+  // Replay has no generating graph for the oracle to read.
+  SPECPF_EXPECTS(predictor_kind != PredictorKind::kOracle);
 }
 
-std::unique_ptr<Predictor> make_replay_predictor(
-    TraceReplayConfig::PredictorKind kind) {
-  switch (kind) {
-    case TraceReplayConfig::PredictorKind::kMarkov:
-      return std::make_unique<MarkovPredictor>();
-    case TraceReplayConfig::PredictorKind::kPpm:
-      return std::make_unique<PpmPredictor>(3);
-    case TraceReplayConfig::PredictorKind::kDependencyGraph:
-      return std::make_unique<DependencyGraphPredictor>(4);
-    case TraceReplayConfig::PredictorKind::kFrequency:
-      return std::make_unique<FrequencyPredictor>();
-  }
-  SPECPF_ASSERT(false && "unreachable");
-  return nullptr;
+std::unique_ptr<PredictorPlane> make_replay_predictor(
+    TraceReplayConfig::PredictorKind kind, std::size_t num_users,
+    bool use_legacy) {
+  SPECPF_EXPECTS(kind != PredictorKind::kOracle);
+  PredictorPlaneConfig plane_config;
+  plane_config.num_users = num_users;
+  return make_predictor_plane(kind, plane_config, use_legacy);
 }
 
 ProxySimResult run_trace_replay(const Trace& trace,
@@ -51,7 +42,9 @@ ProxySimResult run_trace_replay(const Trace& trace,
     if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
   }
 
-  auto predictor = make_replay_predictor(config.predictor_kind);
+  auto predictor = make_replay_predictor(config.predictor_kind,
+                                         user_index.size(),
+                                         config.use_legacy_predictors);
 
   StackRuntimeConfig runtime_config;
   runtime_config.bandwidth = config.bandwidth;

@@ -15,7 +15,7 @@
 
 #include "control/governor.hpp"
 #include "policy/policy.hpp"
-#include "predict/predictor.hpp"
+#include "predict/predictor_plane.hpp"
 #include "sim/proxy_sim.hpp"
 #include "workload/trace.hpp"
 
@@ -27,13 +27,10 @@ struct TraceReplayConfig {
   std::size_t cache_capacity = 64;
   ProxySimConfig::CacheKind cache_kind = ProxySimConfig::CacheKind::kLru;
 
-  /// Predictors that need no generator: markov / ppm / depgraph / frequency.
-  enum class PredictorKind {
-    kMarkov,
-    kPpm,
-    kDependencyGraph,
-    kFrequency,
-  } predictor_kind = PredictorKind::kMarkov;
+  /// Access model (the fleet-wide enum from predict/factory.hpp). Replay
+  /// has no generating graph, so kOracle is rejected by validate().
+  using PredictorKind = specpf::PredictorKind;
+  PredictorKind predictor_kind = PredictorKind::kMarkov;
 
   core::InteractionModel estimator_model = core::InteractionModel::kModelA;
   std::size_t max_prefetch_per_request = 8;
@@ -50,6 +47,11 @@ struct TraceReplayConfig {
   /// arena cache plane (reference for differential tests; the arena is the
   /// default).
   bool use_legacy_caches = false;
+
+  /// Use the legacy virtual Predictor tables instead of the slab-backed
+  /// SoA predictor plane (reference for differential tests and the
+  /// perf_stack baseline; the plane is the default).
+  bool use_legacy_predictors = false;
 
   /// Prefetch governor by name (control/governor.hpp): noop, token-<rate>,
   /// aimd-<setpoint>, conf-<precision>. Empty = ungoverned (today's
@@ -73,9 +75,11 @@ ProxySimResult run_trace_replay(const Trace& trace,
                                 const TraceReplayConfig& config,
                                 PrefetchPolicy& policy);
 
-/// Fresh predictor instance for a replay kind — shared with the sharded
-/// driver, which needs one independent predictor per shard.
-std::unique_ptr<Predictor> make_replay_predictor(
-    TraceReplayConfig::PredictorKind kind);
+/// Fresh predictor plane for a replay kind — shared with the sharded
+/// driver, which needs one independent plane per shard (`num_users` sizes
+/// the plane's user-indexed history slab). kOracle is not replayable.
+std::unique_ptr<PredictorPlane> make_replay_predictor(
+    TraceReplayConfig::PredictorKind kind, std::size_t num_users,
+    bool use_legacy);
 
 }  // namespace specpf

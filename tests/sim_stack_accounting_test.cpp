@@ -21,13 +21,16 @@
 namespace specpf {
 namespace {
 
+using core::Candidate;
+
 /// Returns exactly the candidates set via set(); lets a test script the
 /// prefetch decisions of each request.
-class ScriptedPredictor final : public Predictor {
+class ScriptedPredictor final : public PredictorPlane {
  public:
   void observe(UserId, std::uint64_t) override {}
-  std::vector<Candidate> predict(UserId, std::size_t) const override {
-    return next_;
+  void predict_into(UserId, std::size_t,
+                    std::vector<Candidate>& out) const override {
+    out = next_;
   }
   void set(std::vector<Candidate> next) { next_ = std::move(next); }
 

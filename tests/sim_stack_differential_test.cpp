@@ -1,7 +1,8 @@
 // Differential tests: the flat-hash data plane must reproduce bit-identical
-// ProxySimResults against the legacy std::map in-flight backend, and the
+// ProxySimResults against the legacy std::map in-flight backend, the
 // slab-backed arena cache plane against the legacy per-user TaggedCache
-// fleet — across every predictor and cache kind, for the generative proxy
+// fleet, and the SoA predictor plane against the legacy virtual Predictor
+// tables — across every predictor and cache kind, for the generative proxy
 // sim, trace replay, and a sharded replay. The backends differ only in
 // container layout; any divergence means behaviour changed, not just speed.
 #include <gtest/gtest.h>
@@ -194,6 +195,113 @@ TEST(StackDifferential, ShardedReplayArenaCachesMatchLegacyAcrossCacheKinds) {
     EXPECT_EQ(arena.cross_shard_events, legacy.cross_shard_events);
     EXPECT_EQ(arena.backbone.jobs(), legacy.backbone.jobs());
     EXPECT_GT(arena.merged.requests, 0u);
+  }
+}
+
+// --- SoA predictor plane vs legacy virtual Predictor tables ---
+
+TEST(StackDifferential, PredictorPlaneMatchesLegacyAcrossKinds) {
+  const ProxySimConfig::PredictorKind predictors[] = {
+      ProxySimConfig::PredictorKind::kMarkov,
+      ProxySimConfig::PredictorKind::kPpm,
+      ProxySimConfig::PredictorKind::kDependencyGraph,
+      ProxySimConfig::PredictorKind::kFrequency,
+      ProxySimConfig::PredictorKind::kOracle,
+  };
+  for (auto predictor : predictors) {
+    ProxySimConfig cfg;
+    cfg.num_users = 4;
+    cfg.bandwidth = 30.0;
+    cfg.graph.num_pages = 60;
+    cfg.graph.out_degree = 3;
+    cfg.graph.exit_probability = 0.2;
+    cfg.cache_capacity = 12;
+    cfg.duration = 120.0;
+    cfg.warmup = 20.0;
+    cfg.seed = 9;
+    cfg.predictor_kind = predictor;
+
+    cfg.use_legacy_predictors = false;
+    ThresholdPolicy plane_policy(core::InteractionModel::kModelA);
+    const ProxySimResult plane = run_proxy_sim(cfg, plane_policy);
+
+    cfg.use_legacy_predictors = true;
+    ThresholdPolicy legacy_policy(core::InteractionModel::kModelA);
+    const ProxySimResult legacy = run_proxy_sim(cfg, legacy_policy);
+
+    SCOPED_TRACE("predictor=" + std::to_string(static_cast<int>(predictor)));
+    expect_identical(plane, legacy);
+    EXPECT_GT(plane.requests, 0u);
+  }
+}
+
+TEST(StackDifferential, TraceReplayPredictorPlaneMatchesLegacy) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  // Every replayable kind (the oracle needs the generating graph).
+  const TraceReplayConfig::PredictorKind predictors[] = {
+      PredictorKind::kMarkov,
+      PredictorKind::kPpm,
+      PredictorKind::kDependencyGraph,
+      PredictorKind::kFrequency,
+  };
+  for (auto predictor : predictors) {
+    TraceReplayConfig cfg;
+    cfg.bandwidth = 60.0;
+    cfg.cache_capacity = 8;
+    cfg.predictor_kind = predictor;
+
+    cfg.use_legacy_predictors = false;
+    ThresholdPolicy plane_policy(core::InteractionModel::kModelA);
+    const ProxySimResult plane = run_trace_replay(trace, cfg, plane_policy);
+
+    cfg.use_legacy_predictors = true;
+    ThresholdPolicy legacy_policy(core::InteractionModel::kModelA);
+    const ProxySimResult legacy = run_trace_replay(trace, cfg, legacy_policy);
+
+    SCOPED_TRACE("predictor=" + std::to_string(static_cast<int>(predictor)));
+    expect_identical(plane, legacy);
+    EXPECT_GT(plane.requests, 0u);
+  }
+}
+
+TEST(StackDifferential, ShardedReplayPredictorPlaneMatchesLegacy) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 300;
+  trace_cfg.num_requests = 3000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 33;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  for (auto predictor : {PredictorKind::kMarkov, PredictorKind::kPpm}) {
+    ShardedReplayConfig cfg;
+    cfg.stack.bandwidth = 60.0;
+    cfg.stack.cache_capacity = 8;
+    cfg.stack.predictor_kind = predictor;
+    cfg.num_shards = 3;
+    cfg.num_threads = 1;
+    const PolicyFactory factory = [] {
+      return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+    };
+
+    cfg.stack.use_legacy_predictors = false;
+    const ShardedReplayResult plane = run_sharded_replay(trace, cfg, factory);
+
+    cfg.stack.use_legacy_predictors = true;
+    const ShardedReplayResult legacy = run_sharded_replay(trace, cfg, factory);
+
+    SCOPED_TRACE("predictor=" + std::to_string(static_cast<int>(predictor)));
+    expect_identical(plane.merged, legacy.merged);
+    EXPECT_EQ(plane.cross_shard_events, legacy.cross_shard_events);
+    EXPECT_EQ(plane.backbone.jobs(), legacy.backbone.jobs());
+    EXPECT_GT(plane.merged.requests, 0u);
   }
 }
 
