@@ -32,9 +32,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "util/audit.hpp"
 #include "util/contract.hpp"
 #include "util/flat_hash.hpp"
 #include "util/rng.hpp"
@@ -48,9 +50,11 @@ using NodeIndex = std::uint32_t;
 inline constexpr NodeIndex kNull = 0xFFFFFFFFu;
 
 /// Fleet-wide residency key. Same packing contract as the stack's
-/// in-flight map: items must fit in 32 bits.
+/// in-flight map: items must fit in 32 bits. Debug-only check: this runs
+/// on every residency probe, and the audit walkers re-verify the packing
+/// in Release.
 inline std::uint64_t residency_key(std::uint32_t user, ItemId item) {
-  SPECPF_EXPECTS((item >> 32) == 0);
+  SPECPF_DCHECK((item >> 32) == 0);
   return (static_cast<std::uint64_t>(user) << 32) | item;
 }
 
@@ -91,7 +95,89 @@ class ListArenaBase {
 
   std::uint32_t size(std::uint32_t user) const { return users_[user].size; }
 
+  /// Deep-invariant walk (util/audit.hpp): per-user chain integrity
+  /// (links, acyclicity, size agreement), chain <-> residency-index
+  /// agreement, free-list acyclicity, and slab conservation (every node is
+  /// free or chained exactly once).
+  void audit(AuditReport& report) const {
+    AuditScope scope(report, "ListArena");
+    // 0 = unseen, 1 = on the free list, 2 = chained under some user.
+    std::vector<std::uint8_t> state(nodes_.size(), 0);
+    std::size_t free_count = 0;
+    for (NodeIndex n = free_; n != kNull; n = nodes_[n].next) {
+      if (!report.check(n < nodes_.size(),
+                        "free list points past the slab (node " +
+                            std::to_string(n) + ")")) {
+        break;
+      }
+      if (!report.check(state[n] == 0, "free list revisits node " +
+                                           std::to_string(n) + " (cycle)")) {
+        break;
+      }
+      state[n] = 1;
+      ++free_count;
+    }
+    std::uint64_t chained = 0;
+    for (std::uint32_t user = 0; user < users_.size(); ++user) {
+      const UserCacheView& u = users_[user];
+      report.check(u.size <= capacity_, "user " + std::to_string(user) +
+                                            " exceeds capacity");
+      NodeIndex prev = kNull;
+      NodeIndex n = u.head;
+      std::uint32_t steps = 0;
+      while (n != kNull) {
+        if (!report.check(steps < u.size,
+                          "user " + std::to_string(user) +
+                              " chain is longer than its recorded size (" +
+                              std::to_string(u.size) + ")")) {
+          break;
+        }
+        if (!report.check(n < nodes_.size(), "user " + std::to_string(user) +
+                                                 " chain points past the "
+                                                 "slab")) {
+          break;
+        }
+        if (!report.check(state[n] == 0,
+                          "node " + std::to_string(n) +
+                              " appears in two chains or on the free list")) {
+          break;
+        }
+        state[n] = 2;
+        const Node& node = nodes_[n];
+        report.check(node.prev == prev,
+                     "node " + std::to_string(n) + " has a broken prev link");
+        const NodeIndex* idx = map_.find(residency_key(user, node.item));
+        report.check(idx != nullptr && *idx == n,
+                     "user " + std::to_string(user) + " item " +
+                         std::to_string(node.item) +
+                         " is chained but missing or desynced in the "
+                         "residency index");
+        prev = n;
+        n = node.next;
+        ++steps;
+      }
+      report.check(steps == u.size,
+                   "user " + std::to_string(user) + " chain walk found " +
+                       std::to_string(steps) + " nodes, size() says " +
+                       std::to_string(u.size));
+      report.check(u.tail == prev, "user " + std::to_string(user) +
+                                       " tail disagrees with the chain walk");
+      chained += steps;
+    }
+    report.check(chained == map_.size(),
+                 "residency index holds " + std::to_string(map_.size()) +
+                     " entries but " + std::to_string(chained) +
+                     " nodes are chained");
+    report.check(free_count + chained == nodes_.size(),
+                 "slab conservation: " + std::to_string(free_count) +
+                     " free + " + std::to_string(chained) + " chained != " +
+                     std::to_string(nodes_.size()) + " slab nodes");
+    map_.audit(report);
+  }
+
  protected:
+  friend struct specpf::AuditPeer;  // corruption-injection tests only
+
   struct Node {
     std::uint32_t item = 0;
     NodeIndex prev = kNull;
@@ -112,7 +198,7 @@ class ListArenaBase {
       n = free_;
       free_ = nodes_[n].next;
     } else {
-      SPECPF_ASSERT(nodes_.size() < kNull);
+      SPECPF_DCHECK(nodes_.size() < kNull);
       n = static_cast<NodeIndex>(nodes_.size());
       nodes_.emplace_back();
     }
@@ -308,7 +394,118 @@ class LfuArena {
     ++u.size;
   }
 
+  /// Deep-invariant walker: free-list acyclicity on both slabs, per-user
+  /// bucket chains strictly ascending in frequency, node <-> bucket
+  /// back-pointers, chain <-> residency-index agreement, and two-slab
+  /// conservation (free + chained == allocated on each slab).
+  void audit(AuditReport& report) const {
+    const AuditScope scope(report, "LfuArena");
+    // 0 = unseen, 1 = on a free list, 2 = reachable from a user chain.
+    std::vector<std::uint8_t> node_state(nodes_.size(), 0);
+    std::vector<std::uint8_t> bucket_state(buckets_.size(), 0);
+    std::size_t free_node_count = 0;
+    for (NodeIndex n = free_nodes_; n != kNull; n = nodes_[n].next) {
+      if (!report.check(n < nodes_.size(), "free node out of range")) break;
+      if (!report.check(node_state[n] == 0,
+                        "node free list revisits slot " + std::to_string(n) +
+                            " (cycle or double free)")) {
+        break;
+      }
+      node_state[n] = 1;
+      ++free_node_count;
+    }
+    std::size_t free_bucket_count = 0;
+    for (NodeIndex b = free_buckets_; b != kNull; b = buckets_[b].next) {
+      if (!report.check(b < buckets_.size(), "free bucket out of range")) {
+        break;
+      }
+      if (!report.check(bucket_state[b] == 0,
+                        "bucket free list revisits slot " + std::to_string(b) +
+                            " (cycle or double free)")) {
+        break;
+      }
+      bucket_state[b] = 1;
+      ++free_bucket_count;
+    }
+    std::size_t chained_nodes = 0;
+    std::size_t live_buckets = 0;
+    for (std::uint32_t user = 0; user < users_.size(); ++user) {
+      const UserLfuView& u = users_[user];
+      const std::string who = "user " + std::to_string(user);
+      std::uint32_t user_nodes = 0;
+      std::uint32_t prev_freq = 0;
+      NodeIndex prev_b = kNull;
+      for (NodeIndex b = u.buckets; b != kNull; b = buckets_[b].next) {
+        if (!report.check(b < buckets_.size(),
+                          who + ": bucket index out of range")) {
+          break;
+        }
+        if (!report.check(bucket_state[b] == 0,
+                          who + ": bucket " + std::to_string(b) +
+                              " freed or reached twice (cycle)")) {
+          break;
+        }
+        bucket_state[b] = 2;
+        ++live_buckets;
+        const Bucket& bucket = buckets_[b];
+        report.check(bucket.prev == prev_b,
+                     who + ": bucket back-link broken at " + std::to_string(b));
+        report.check(bucket.freq > prev_freq,
+                     who + ": bucket frequencies not strictly ascending at " +
+                         std::to_string(b));
+        NodeIndex prev_n = kNull;
+        for (NodeIndex n = bucket.head; n != kNull; n = nodes_[n].next) {
+          if (!report.check(n < nodes_.size(),
+                            who + ": node index out of range")) {
+            break;
+          }
+          if (!report.check(node_state[n] == 0,
+                            who + ": node " + std::to_string(n) +
+                                " freed or reached twice (cycle)")) {
+            break;
+          }
+          node_state[n] = 2;
+          const LfuNode& node = nodes_[n];
+          report.check(node.prev == prev_n,
+                       who + ": node back-link broken at " + std::to_string(n));
+          report.check(node.bucket == b,
+                       who + ": node " + std::to_string(n) +
+                           " bucket back-pointer desynced");
+          const NodeIndex* r = map_.find(residency_key(user, node.item));
+          if (report.check(r != nullptr, who + ": chained item " +
+                                             std::to_string(node.item) +
+                                             " missing from residency index")) {
+            report.check(*r == n, who + ": residency index points at a "
+                                        "different node for item " +
+                                      std::to_string(node.item));
+          }
+          prev_n = n;
+          ++user_nodes;
+        }
+        report.check(bucket.head != kNull,
+                     who + ": empty bucket " + std::to_string(b) +
+                         " left in chain");
+        report.check(bucket.tail == prev_n,
+                     who + ": bucket tail desynced at " + std::to_string(b));
+        prev_freq = buckets_[b].freq;
+        prev_b = b;
+      }
+      report.check(user_nodes == u.size,
+                   who + ": chain length != recorded size");
+      chained_nodes += user_nodes;
+    }
+    report.check(chained_nodes == map_.size(),
+                 "residency index size != total chained nodes");
+    report.check(free_node_count + chained_nodes == nodes_.size(),
+                 "node slab conservation broken (free + chained != allocated)");
+    report.check(free_bucket_count + live_buckets == buckets_.size(),
+                 "bucket slab conservation broken (free + live != allocated)");
+    map_.audit(report);
+  }
+
  private:
+  friend struct specpf::AuditPeer;  // corruption-injection tests only
+
   struct LfuNode {
     std::uint32_t item = 0;
     NodeIndex prev = kNull;  // within the bucket; front = most recent
@@ -335,7 +532,7 @@ class LfuArena {
       n = free_nodes_;
       free_nodes_ = nodes_[n].next;
     } else {
-      SPECPF_ASSERT(nodes_.size() < kNull);
+      SPECPF_DCHECK(nodes_.size() < kNull);
       n = static_cast<NodeIndex>(nodes_.size());
       nodes_.emplace_back();
     }
@@ -355,7 +552,7 @@ class LfuArena {
       b = free_buckets_;
       free_buckets_ = buckets_[b].next;
     } else {
-      SPECPF_ASSERT(buckets_.size() < kNull);
+      SPECPF_DCHECK(buckets_.size() < kNull);
       b = static_cast<NodeIndex>(buckets_.size());
       buckets_.emplace_back();
     }
@@ -418,10 +615,10 @@ class LfuArena {
   template <typename OnEvict>
   void evict_one(std::uint32_t user, OnEvict&& on_evict) {
     UserLfuView& u = users_[user];
-    SPECPF_ASSERT(u.buckets != kNull);
+    SPECPF_DCHECK(u.buckets != kNull);
     const NodeIndex lowest = u.buckets;
     const NodeIndex victim = buckets_[lowest].tail;  // LRU within the bucket
-    SPECPF_ASSERT(victim != kNull);
+    SPECPF_DCHECK(victim != kNull);
     const std::uint32_t vitem = nodes_[victim].item;
     const EntryTag vtag = nodes_[victim].tag;
     unlink_node(lowest, victim);
@@ -529,7 +726,45 @@ class ClockArenaT {
     ++u.live;
   }
 
+  /// Deep-invariant walker: occupied frames form a dense prefix of each
+  /// user's block, hand stays in range, and (in indexed mode) every
+  /// occupied frame agrees with the fleet residency index.
+  void audit(AuditReport& report) const {
+    const AuditScope scope(report, "ClockArena");
+    std::uint64_t live_total = 0;
+    for (std::uint32_t user = 0; user < users_.size(); ++user) {
+      const UserClockView& u = users_[user];
+      const std::string who = "user " + std::to_string(user);
+      report.check(u.live <= capacity_, who + " exceeds capacity");
+      report.check(u.hand < capacity_, who + " hand out of range");
+      const std::size_t base = static_cast<std::size_t>(user) * capacity_;
+      const std::uint32_t live = std::min(u.live, capacity_);
+      for (std::uint32_t i = 0; i < capacity_; ++i) {
+        const Frame& f = frames_[base + i];
+        report.check(f.occupied == (i < live),
+                     who + ": frame " + std::to_string(i) +
+                         " breaks the dense occupied prefix");
+        if constexpr (!kInlineResidency) {
+          if (f.occupied) {
+            const NodeIndex* idx = map_.find(residency_key(user, f.item));
+            report.check(idx != nullptr && *idx == base + i,
+                         who + ": occupied frame " + std::to_string(i) +
+                             " missing or desynced in the residency index");
+          }
+        }
+      }
+      live_total += live;
+    }
+    if constexpr (!kInlineResidency) {
+      report.check(live_total == map_.size(),
+                   "residency index size != total occupied frames");
+      map_.audit(report);
+    }
+  }
+
  private:
+  friend struct specpf::AuditPeer;  // corruption-injection tests only
+
   struct Frame {
     std::uint32_t item = 0;
     EntryTag tag = EntryTag::kUntagged;
@@ -547,7 +782,7 @@ class ClockArenaT {
           static_cast<std::size_t>(user) * capacity_);
       const std::uint32_t live = users_[user].live;
       const auto item32 = static_cast<std::uint32_t>(item);
-      SPECPF_EXPECTS((item >> 32) == 0);
+      SPECPF_DCHECK((item >> 32) == 0);
       for (std::uint32_t i = 0; i < live; ++i) {
         if (frames_[base + i].item == item32) return base + i;
       }
@@ -646,7 +881,41 @@ class RandomArenaT {
     ++u.size;
   }
 
+  /// Deep-invariant walker: per-user sizes in range, one RNG stream per
+  /// user, and (in indexed mode) every live slot agrees with the fleet
+  /// residency index.
+  void audit(AuditReport& report) const {
+    const AuditScope scope(report, "RandomArena");
+    report.check(rngs_.size() == users_.size(),
+                 "RNG stream count != user count");
+    std::uint64_t live_total = 0;
+    for (std::uint32_t user = 0; user < users_.size(); ++user) {
+      const UserRandomView& u = users_[user];
+      const std::string who = "user " + std::to_string(user);
+      report.check(u.size <= capacity_, who + " exceeds capacity");
+      const std::size_t base = static_cast<std::size_t>(user) * capacity_;
+      const std::uint32_t live = std::min(u.size, capacity_);
+      if constexpr (!kInlineResidency) {
+        for (std::uint32_t i = 0; i < live; ++i) {
+          const NodeIndex* idx =
+              map_.find(residency_key(user, slots_[base + i].item));
+          report.check(idx != nullptr && *idx == base + i,
+                       who + ": live slot " + std::to_string(i) +
+                           " missing or desynced in the residency index");
+        }
+      }
+      live_total += live;
+    }
+    if constexpr (!kInlineResidency) {
+      report.check(live_total == map_.size(),
+                   "residency index size != total live slots");
+      map_.audit(report);
+    }
+  }
+
  private:
+  friend struct specpf::AuditPeer;  // corruption-injection tests only
+
   struct Slot {
     std::uint32_t item = 0;
     EntryTag tag = EntryTag::kUntagged;
@@ -661,7 +930,7 @@ class RandomArenaT {
           static_cast<std::size_t>(user) * capacity_);
       const std::uint32_t live = users_[user].size;
       const auto item32 = static_cast<std::uint32_t>(item);
-      SPECPF_EXPECTS((item >> 32) == 0);
+      SPECPF_DCHECK((item >> 32) == 0);
       for (std::uint32_t i = 0; i < live; ++i) {
         if (slots_[base + i].item == item32) return base + i;
       }
@@ -715,7 +984,48 @@ class SmallListArenaBase {
 
   std::uint32_t size(std::uint32_t user) const { return users_[user].size; }
 
+  /// Deep-invariant walker: each user's chain covers exactly the occupied
+  /// prefix [0, size) of its block, with intact back-links and no cycles.
+  void audit(AuditReport& report) const {
+    const AuditScope scope(report, "SmallListArena");
+    for (std::uint32_t user = 0; user < users_.size(); ++user) {
+      const UserCacheView& u = users_[user];
+      const std::string who = "user " + std::to_string(user);
+      report.check(u.size <= capacity_, who + " exceeds capacity");
+      std::uint32_t seen = 0;  // bitmap: capacity_ <= 16 slots
+      std::uint16_t prev = kNull16;
+      std::uint16_t slot = u.head;
+      std::uint16_t steps = 0;
+      while (slot != kNull16) {
+        if (!report.check(slot < u.size,
+                          who + ": chain slot " + std::to_string(slot) +
+                              " outside the occupied prefix")) {
+          break;
+        }
+        if (!report.check((seen & (1u << slot)) == 0,
+                          who + ": chain revisits slot " +
+                              std::to_string(slot) + " (cycle)")) {
+          break;
+        }
+        seen |= 1u << slot;
+        const Node& n = node(user, slot);
+        report.check(n.prev == prev,
+                     who + ": broken prev link at slot " +
+                         std::to_string(slot));
+        prev = slot;
+        slot = n.next;
+        ++steps;
+      }
+      report.check(steps == u.size,
+                   who + ": chain walk found " + std::to_string(steps) +
+                       " nodes, size() says " + std::to_string(u.size));
+      report.check(u.tail == prev, who + ": tail disagrees with chain walk");
+    }
+  }
+
  protected:
+  friend struct specpf::AuditPeer;  // corruption-injection tests only
+
   static constexpr std::uint16_t kNull16 = 0xFFFF;
 
   struct Node {  // 12 bytes
@@ -743,7 +1053,7 @@ class SmallListArenaBase {
   }
 
   std::uint16_t find_slot(std::uint32_t user, ItemId item) const {
-    SPECPF_EXPECTS((item >> 32) == 0);
+    SPECPF_DCHECK((item >> 32) == 0);
     const auto item32 = static_cast<std::uint32_t>(item);
     const Node* block = &nodes_[base(user)];
     const std::uint16_t live = users_[user].size;
@@ -938,7 +1248,56 @@ class SmallLfuArena {
     ++u.size;
   }
 
+  /// Deep-invariant walker: each user's chain covers exactly the occupied
+  /// prefix [0, size) of its block with intact back-links and no cycles,
+  /// and frequencies run non-decreasing from head to tail with every
+  /// resident entry touched at least once (flattened bucket order).
+  void audit(AuditReport& report) const {
+    const AuditScope scope(report, "SmallLfuArena");
+    for (std::uint32_t user = 0; user < users_.size(); ++user) {
+      const UserLfuView& u = users_[user];
+      const std::string who = "user " + std::to_string(user);
+      report.check(u.size <= capacity_, who + " exceeds capacity");
+      std::uint32_t seen = 0;  // bitmap: capacity_ <= 16 slots
+      std::uint32_t prev_freq = 1;
+      std::uint16_t prev = kNull16;
+      std::uint16_t slot = u.head;
+      std::uint16_t steps = 0;
+      while (slot != kNull16) {
+        if (!report.check(slot < u.size,
+                          who + ": chain slot " + std::to_string(slot) +
+                              " outside the occupied prefix")) {
+          break;
+        }
+        if (!report.check((seen & (1u << slot)) == 0,
+                          who + ": chain revisits slot " +
+                              std::to_string(slot) + " (cycle)")) {
+          break;
+        }
+        seen |= 1u << slot;
+        const Node& n = node(user, slot);
+        report.check(n.prev == prev,
+                     who + ": broken prev link at slot " +
+                         std::to_string(slot));
+        report.check(n.freq >= prev_freq,
+                     who + ": frequencies not in flattened bucket order at "
+                           "slot " +
+                         std::to_string(slot));
+        prev_freq = n.freq;
+        prev = slot;
+        slot = n.next;
+        ++steps;
+      }
+      report.check(steps == u.size,
+                   who + ": chain walk found " + std::to_string(steps) +
+                       " nodes, size() says " + std::to_string(u.size));
+      report.check(u.tail == prev, who + ": tail disagrees with chain walk");
+    }
+  }
+
  private:
+  friend struct specpf::AuditPeer;  // corruption-injection tests only
+
   static constexpr std::uint16_t kNull16 = 0xFFFF;
 
   struct Node {  // 16 bytes
@@ -965,7 +1324,7 @@ class SmallLfuArena {
   }
 
   std::uint16_t find_slot(std::uint32_t user, ItemId item) const {
-    SPECPF_EXPECTS((item >> 32) == 0);
+    SPECPF_DCHECK((item >> 32) == 0);
     const auto item32 = static_cast<std::uint32_t>(item);
     const Node* block = &nodes_[base(user)];
     const std::uint16_t live = users_[user].size;
@@ -979,7 +1338,7 @@ class SmallLfuArena {
   /// frequency bucket.
   std::uint16_t victim_slot(std::uint32_t user) const {
     const UserLfuView& u = users_[user];
-    SPECPF_ASSERT(u.head != kNull16);
+    SPECPF_DCHECK(u.head != kNull16);
     std::uint16_t cur = u.head;
     const std::uint32_t freq = node(user, cur).freq;
     while (node(user, cur).next != kNull16 &&

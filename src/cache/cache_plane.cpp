@@ -115,6 +115,19 @@ class ArenaCachePlane final : public CachePlane {
     observer_ = std::move(observer);
   }
 
+  void audit(AuditReport& report) const override {
+    const AuditScope scope(report, "ArenaCachePlane");
+    for (std::uint32_t u = 0; u < users_.size(); ++u) {
+      const TaggedUserState& st = users_[u];
+      report.check(st.nhit <= st.naccess,
+                   "user " + std::to_string(u) + ": nhit > naccess");
+      report.check(st.prefetch_first_uses <= st.prefetch_inserts,
+                   "user " + std::to_string(u) +
+                       ": prefetch first uses > prefetch inserts");
+    }
+    policy_.audit(report);
+  }
+
  private:
   void insert(std::uint32_t user, ItemId item, core::EntryTag tag) {
     policy_.insert(user, item, tag,
@@ -194,6 +207,18 @@ class LegacyCachePlane final : public CachePlane {
 
   void set_eviction_observer(EvictionObserver observer) override {
     observer_ = std::move(observer);
+  }
+
+  void audit(AuditReport& report) const override {
+    // The legacy entries live in std::list/std::unordered_map nodes that
+    // ASan already watches; only the §4 counters are worth re-deriving.
+    const AuditScope scope(report, "LegacyCachePlane");
+    for (std::uint32_t u = 0; u < caches_.size(); ++u) {
+      report.check(
+          caches_[u]->prefetch_first_uses() <= caches_[u]->prefetch_inserts(),
+          "user " + std::to_string(u) +
+              ": prefetch first uses > prefetch inserts");
+    }
   }
 
  private:

@@ -89,6 +89,13 @@ class CachePlane {
   virtual std::uint64_t prefetch_first_uses(std::uint32_t user) const = 0;
 
   virtual void set_eviction_observer(EvictionObserver observer) = 0;
+
+  /// Deep-invariant sweep (util/audit.hpp): the arena backend walks its
+  /// policy arena (chains, free lists, residency index) plus the §4 counter
+  /// sanity (nhit <= naccess, first uses <= inserts). The legacy backend
+  /// checks the counters only — its std::list/map entries are already under
+  /// ASan's eye. Cold path; called from tests and SPECPF_AUDIT sweeps.
+  virtual void audit(AuditReport& report) const = 0;
 };
 
 /// Builds the cache plane for `kind`: the arena backend by default, the

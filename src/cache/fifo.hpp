@@ -1,5 +1,7 @@
 // First-in-first-out cache: eviction order fixed at insertion, lookups do
 // not refresh position.
+// lint:legacy-baseline — pre-arena reference implementation kept
+// byte-identical for the differential tests; not a data-plane path.
 #pragma once
 
 #include <list>

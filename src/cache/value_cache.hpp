@@ -9,6 +9,8 @@
 //
 // Implementation: hash map + ordered multiset of (value, item) for an
 // O(log n) eviction victim; value updates are O(log n).
+// lint:legacy-baseline — pre-arena reference implementation kept
+// byte-identical for the differential tests; not a data-plane path.
 #pragma once
 
 #include <map>

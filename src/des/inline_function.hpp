@@ -66,6 +66,22 @@ class InlineFunction<R(Args...), Capacity> {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
+  /// Fills the inline buffer with `byte`. Precondition: empty. Used by the
+  /// audit layer to poison freed engine slots (0xDD) so a write through a
+  /// stale handle is detectable; only the storage is touched, never ops_.
+  void poison_storage(unsigned char byte) noexcept {
+    for (std::size_t i = 0; i < Capacity; ++i) buf_[i] = byte;
+  }
+
+  /// True when every byte of the inline buffer equals `byte`. Precondition:
+  /// empty. The audit walker checks freed slots still carry their poison.
+  bool storage_is(unsigned char byte) const noexcept {
+    for (std::size_t i = 0; i < Capacity; ++i) {
+      if (buf_[i] != byte) return false;
+    }
+    return true;
+  }
+
   /// Invokes the stored callable. Precondition: non-empty.
   R operator()(Args... args) {
     return ops_->invoke(buf_, std::forward<Args>(args)...);

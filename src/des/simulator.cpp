@@ -25,6 +25,7 @@ std::uint32_t Simulator::acquire_slot() {
   if (free_head_ != EventId::kInvalid) {
     const std::uint32_t slot = free_head_;
     free_head_ = node_at(slot).next_free;
+    if (slot < poisoned_.size()) poisoned_[slot] = 0;  // live again
     return slot;
   }
   SPECPF_ASSERT(slab_size_ < kMaxSlots);
@@ -43,6 +44,118 @@ void Simulator::release_slot(std::uint32_t slot) {
   ++node.generation;  // stale handles (ABA) now mismatch
   node.next_free = free_head_;
   free_head_ = slot;
+  if (audit_mode_) {
+    if (shadow_gen_.size() < slab_size_) {
+      shadow_gen_.resize(slab_size_, EventId::kInvalid);
+      poisoned_.resize(slab_size_, 0);
+    }
+    node.action.poison_storage(kPoisonByte);  // empty: only buf_ touched
+    poisoned_[slot] = 1;
+    shadow_gen_[slot] = node.generation;
+  }
+}
+
+void Simulator::enable_audit_mode() { audit_mode_ = true; }
+
+void Simulator::audit(AuditReport& report) const {
+  const AuditScope scope(report, "Simulator");
+  // 0 = unseen, 1 = on the free list, 2 = named by a pending entry.
+  std::vector<std::uint8_t> state(slab_size_, 0);
+  std::size_t free_count = 0;
+  for (std::uint32_t slot = free_head_; slot != EventId::kInvalid;
+       slot = node_at(slot).next_free) {
+    if (!report.check(slot < slab_size_,
+                      "free list points past the slab (slot " +
+                          std::to_string(slot) + ")")) {
+      break;
+    }
+    if (!report.check(state[slot] == 0, "free list revisits slot " +
+                                            std::to_string(slot) +
+                                            " (cycle)")) {
+      break;
+    }
+    state[slot] = 1;
+    ++free_count;
+    const Node& node = node_at(slot);
+    report.check(!node.action,
+                 "freed slot " + std::to_string(slot) + " still armed");
+    if (slot < poisoned_.size() && poisoned_[slot]) {
+      report.check(node.action.storage_is(kPoisonByte),
+                   "freed slot " + std::to_string(slot) +
+                       " poison overwritten (write through a stale "
+                       "handle?)");
+    }
+  }
+  // Pending entries across both tiers: valid unique slots, armed exactly
+  // when live, times no earlier than the clock.
+  std::size_t dead_seen = 0;
+  auto check_entry = [&](const HeapEntry& entry, const char* tier) {
+    const std::uint32_t slot = entry.slot();
+    if (!report.check(slot < slab_size_, std::string(tier) +
+                                             " entry names slot " +
+                                             std::to_string(slot) +
+                                             " past the slab")) {
+      return;
+    }
+    if (!report.check(state[slot] == 0,
+                      std::string(tier) + " entry slot " +
+                          std::to_string(slot) +
+                          " is on the free list or pending twice")) {
+      return;
+    }
+    state[slot] = 2;
+    const Node& node = node_at(slot);
+    if (is_dead(slot)) {
+      ++dead_seen;
+      report.check(!node.action, "tombstoned slot " + std::to_string(slot) +
+                                     " still armed");
+    } else {
+      report.check(static_cast<bool>(node.action),
+                   std::string(tier) + " live slot " + std::to_string(slot) +
+                       " is disarmed (lost action)");
+      report.check(entry.time >= now_,
+                   std::string(tier) + " live entry at slot " +
+                       std::to_string(slot) + " is scheduled in the past");
+    }
+  };
+  for (std::size_t i = kHeapBase; i < heap_.size(); ++i) {
+    check_entry(heap_[i], "heap");
+  }
+  for (const HeapEntry& entry : sorted_run_) check_entry(entry, "run");
+  report.check(dead_seen == dead_in_heap_,
+               "tombstone bitset marks " + std::to_string(dead_seen) +
+                   " pending slots but dead_in_heap_ says " +
+                   std::to_string(dead_in_heap_));
+  // Generation shadowing (audit mode): every tracked slot's generation must
+  // match what release_slot last recorded — a mismatch means a rollback or
+  // forgery through a recycled slot.
+  for (std::uint32_t slot = 0;
+       slot < shadow_gen_.size() && slot < slab_size_; ++slot) {
+    if (shadow_gen_[slot] == EventId::kInvalid) continue;
+    report.check(node_at(slot).generation == shadow_gen_[slot],
+                 "slot " + std::to_string(slot) +
+                     " generation diverged from its shadow (rolled back or "
+                     "forged)");
+  }
+  // Structural health of the ordering tiers.
+  report.check(heapified_ >= kHeapBase && heapified_ <= heap_.size(),
+               "heapified_ watermark out of range");
+  const std::size_t ordered = std::min(heapified_, heap_.size());
+  for (std::size_t j = kHeapBase + 1; j < ordered; ++j) {
+    const std::size_t parent = (j + 8) / kHeapArity;
+    report.check(!heap_[j].before(heap_[parent]),
+                 "4-ary heap property violated at index " +
+                     std::to_string(j));
+  }
+  for (std::size_t i = 0; i + 1 < sorted_run_.size(); ++i) {
+    report.check(sorted_run_[i + 1].before(sorted_run_[i]),
+                 "sorted run not descending at index " + std::to_string(i));
+  }
+  // Slab conservation: every slot is free or pending, never both/neither.
+  report.check(free_count + (pending()) == slab_size_,
+               "slab conservation: " + std::to_string(free_count) +
+                   " free + " + std::to_string(pending()) +
+                   " pending != " + std::to_string(slab_size_) + " slots");
 }
 
 // Physical indexing (see kHeapBase): children of i are 4i-8 .. 4i-5, parent

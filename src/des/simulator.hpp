@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "des/inline_function.hpp"
+#include "util/audit.hpp"
 #include "util/cache_aligned.hpp"
 
 namespace specpf {
@@ -98,7 +99,25 @@ class Simulator {
     return heap_.size() - kHeapBase + sorted_run_.size();
   }
 
+  /// Turns on freed-slot poisoning (0xDD fill of the action storage) and
+  /// generation shadowing for subsequent slot traffic. On by default in
+  /// SPECPF_AUDIT builds; tests call this to exercise the stale-handle and
+  /// poison checks in any build. Slots freed before the call are left
+  /// unpoisoned — audit() only checks slots freed while the mode was on.
+  void enable_audit_mode();
+
+  /// Deep-invariant walker (util/audit.hpp): free-list acyclicity and
+  /// bounds, freed slots disarmed + poison intact + generation matching the
+  /// shadow (catches rollback through a recycled slot), heap entries naming
+  /// valid unique slots with armed-iff-live actions, tombstone bitset
+  /// agreeing with dead_in_heap_, the 4-ary heap property over the ordered
+  /// prefix, the sorted run descending, pending times >= now(), and slab
+  /// conservation (free + pending == slab size).
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditPeer;  // corruption-injection tests only
+
   // One cache line per node: the inline action plus slot bookkeeping. A node
   // is "armed" exactly when its action is non-empty (schedule_at rejects
   // empty actions), so no separate flag is needed.
@@ -137,8 +156,17 @@ class Simulator {
   // on a 64-byte boundary: one cache line per sift level instead of two.
   static constexpr std::size_t kHeapBase = 3;
 
+  /// Freed-slot fill byte in audit mode: all-0xDD action storage marks a
+  /// slot nobody should be writing through.
+  static constexpr unsigned char kPoisonByte = 0xDD;
+
   Node& node_at(std::uint32_t slot) {
     return *(reinterpret_cast<Node*>(chunks_[slot >> kChunkShift].get()) +
+             (slot & (kChunkSize - 1)));
+  }
+  const Node& node_at(std::uint32_t slot) const {
+    return *(reinterpret_cast<const Node*>(
+                 chunks_[slot >> kChunkShift].get()) +
              (slot & (kChunkSize - 1)));
   }
   // Tombstone bits live in a tiny slot-indexed bitset (2 KiB per 131k slots,
@@ -211,6 +239,13 @@ class Simulator {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  // Audit-mode state (see enable_audit_mode): poison freed action storage
+  // and shadow each slot's expected generation so audit() can catch a
+  // generation rolled back (or forged) through a recycled slot. The shadow
+  // vectors grow lazily on the first release with the mode on.
+  bool audit_mode_ = kAuditBuild;
+  std::vector<std::uint32_t> shadow_gen_;  // kInvalid = untracked slot
+  std::vector<std::uint8_t> poisoned_;     // freed with poison applied
 };
 
 }  // namespace specpf

@@ -26,8 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "util/audit.hpp"
 #include "util/contract.hpp"
 #include "util/flat_hash.hpp"
 
@@ -112,7 +114,99 @@ class ContextArena {
   /// counts stop mirroring the legacy u64 tables.
   std::uint64_t halvings() const { return halvings_; }
 
+  /// Deep-invariant walker (util/audit.hpp): slab-length agreement across
+  /// the SoA columns, successor chains acyclic with every slot owned by
+  /// exactly one context, per-context conservation (chain length ==
+  /// distinct, sum of counts == total, counts >= 1), successor-index
+  /// round-trips ((ctx, item) <-> slot both ways), and interning
+  /// round-trips for the context and item indices.
+  void audit(AuditReport& report) const {
+    const AuditScope scope(report, "ContextArena");
+    const std::size_t ctxs = head_.size();
+    report.check(distinct_.size() == ctxs && total_.size() == ctxs &&
+                     aux_.size() == ctxs,
+                 "context SoA columns disagree on length");
+    const std::size_t succs = succ_item_.size();
+    report.check(succ_count_.size() == succs && succ_next_.size() == succs,
+                 "successor SoA columns disagree on length");
+    report.check(ctx_index_.size() == ctxs,
+                 "context index size != context count");
+    report.check(succ_index_.size() == succs,
+                 "successor index size != successor count");
+    report.check(item_index_.size() == item_value_.size(),
+                 "item index size != item count");
+
+    // Successor chains: each slot owned by exactly one context, counts
+    // conserve the context totals, and the (ctx, item) index agrees.
+    std::vector<std::uint8_t> owned(succs, 0);
+    std::uint64_t chained = 0;
+    for (CtxId ctx = 0; ctx < ctxs; ++ctx) {
+      const std::string who = "ctx " + std::to_string(ctx);
+      std::uint64_t sum = 0;
+      std::uint32_t walked = 0;
+      for (std::uint32_t s = head_[ctx]; s != kNoSucc; s = succ_next_[s]) {
+        if (!report.check(s < succs, who + ": successor chain points past "
+                                           "the slab")) {
+          break;
+        }
+        if (!report.check(owned[s] == 0,
+                          who + ": successor slot " + std::to_string(s) +
+                              " owned twice (cycle or cross-context "
+                              "share)")) {
+          break;
+        }
+        owned[s] = 1;
+        report.check(succ_count_[s] >= 1,
+                     who + ": successor slot " + std::to_string(s) +
+                         " has a zero count");
+        report.check(succ_item_[s] < item_value_.size(),
+                     who + ": successor slot " + std::to_string(s) +
+                         " names an uninterned item id");
+        const std::uint32_t* slot =
+            succ_index_.find(succ_key(ctx, succ_item_[s]));
+        report.check(slot != nullptr && *slot == s,
+                     who + ": successor index round-trip failed for slot " +
+                         std::to_string(s));
+        sum += succ_count_[s];
+        ++walked;
+      }
+      report.check(walked == distinct_[ctx],
+                   who + ": chain walk found " + std::to_string(walked) +
+                       " successors, distinct() says " +
+                       std::to_string(distinct_[ctx]));
+      report.check(sum == total_[ctx],
+                   who + ": successor counts sum to " + std::to_string(sum) +
+                       " but total() says " + std::to_string(total_[ctx]));
+      chained += walked;
+    }
+    report.check(chained == succs,
+                 "successor slab conservation: " + std::to_string(chained) +
+                     " slots chained, " + std::to_string(succs) +
+                     " allocated (orphaned slots)");
+
+    // Interning round-trips: every index entry points at a slab slot that
+    // agrees with it, and (for items) the slab points back into the index.
+    ctx_index_.for_each([&](std::uint64_t /*key*/, std::uint32_t id) {
+      report.check(id < ctxs, "context index maps to an unallocated id " +
+                                  std::to_string(id));
+    });
+    item_index_.for_each([&](std::uint64_t item, std::uint32_t id) {
+      if (report.check(id < item_value_.size(),
+                       "item index maps to an unallocated id " +
+                           std::to_string(id))) {
+        report.check(item_value_[id] == item,
+                     "item interning round-trip failed for id " +
+                         std::to_string(id));
+      }
+    });
+    ctx_index_.audit(report);
+    item_index_.audit(report);
+    succ_index_.audit(report);
+  }
+
  private:
+  friend struct AuditPeer;  // corruption-injection tests only
+
   static constexpr std::uint32_t kNoSucc = 0xFFFFFFFFu;
 
   static std::uint64_t succ_key(CtxId ctx, std::uint32_t item_id) {

@@ -1,3 +1,5 @@
+// lint:legacy-baseline — pre-arena reference implementation kept
+// byte-identical for the differential tests; not a data-plane path.
 #include "predict/dependency_graph.hpp"
 
 #include <algorithm>

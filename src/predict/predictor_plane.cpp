@@ -62,6 +62,8 @@ class FrequencyPlane final : public PredictorPlane {
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
 
+  void audit(AuditReport& report) const override { arena_.audit(report); }
+
  private:
   ContextArena arena_;
   ContextArena::CtxId ctx_;
@@ -101,6 +103,8 @@ class MarkovPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+
+  void audit(AuditReport& report) const override { arena_.audit(report); }
 
  private:
   double laplace_;
@@ -163,6 +167,8 @@ class PpmPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+
+  void audit(AuditReport& report) const override { arena_.audit(report); }
 
  private:
   /// Hash of the user's most recent `length` items — the same FNV-1a mix
@@ -237,6 +243,8 @@ class DependencyGraphPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+
+  void audit(AuditReport& report) const override { arena_.audit(report); }
 
  private:
   ContextArena arena_;

@@ -30,6 +30,7 @@
 
 #include "core/planner.hpp"
 #include "predict/factory.hpp"
+#include "util/audit.hpp"
 
 namespace specpf {
 
@@ -77,6 +78,12 @@ class PredictorPlane {
   /// Counter-halving events so far (0 on the legacy backend, which grows
   /// u64 counts instead of quantizing).
   virtual std::uint64_t counter_halvings() const { return 0; }
+
+  /// Deep-invariant sweep (util/audit.hpp): the arena planes walk their
+  /// ContextArena (successor-chain conservation, interning round-trips,
+  /// index health). The legacy tables and the stateless oracle have nothing
+  /// slab-backed to walk — default no-op.
+  virtual void audit(AuditReport& /*report*/) const {}
 };
 
 /// Builds the predictor plane for `kind`: the arena backend by default, the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "control/governor.hpp"
 #include "des/simulator.hpp"
@@ -211,7 +212,8 @@ void ShardedSim::run_epoch(double epoch_end) {
     for (auto& shard : shards_) shard->sim.run_until(epoch_end);
     return;
   }
-  std::vector<std::function<void()>> tasks;
+  // One task vector per epoch barrier (S entries), not per-request.
+  std::vector<std::function<void()>> tasks;  // lint:allow(std::function)
   tasks.reserve(shards_.size());
   for (auto& shard : shards_) {
     tasks.emplace_back(
@@ -289,7 +291,17 @@ ShardedReplayResult ShardedSim::run() {
     ++epochs_;
     exchange_mailboxes();
     exchange_setpoints();
+    if constexpr (kAuditBuild) {
+      // Epoch-barrier sweep, sampled at power-of-two epochs so the audit
+      // cost stays logarithmic in run length; every shard's whole slice
+      // (engine slab, cache arenas, predictor arena, in-flight accounting)
+      // is re-derived from scratch. The barrier is the earliest point the
+      // corruption is observable fleet-wide, so a failure here names the
+      // epoch that introduced it.
+      if ((epochs_ & (epochs_ - 1)) == 0) audit_fleet();
+    }
   }
+  if constexpr (kAuditBuild) audit_fleet();  // final sweep before merging
 
   // Merge in canonical shard order (0..S-1), on this thread.
   ShardedReplayResult out;
@@ -321,6 +333,19 @@ ShardedReplayResult ShardedSim::run() {
                                      policy_name_);
   out.backbone = merge_backbone_stats(backbones);
   return out;
+}
+
+void ShardedSim::audit_fleet() const {
+  AuditReport report;
+  for (const auto& shard : shards_) {
+    const AuditScope scope(report, "shard " + std::to_string(shard->id));
+    if (shard->runtime) {
+      shard->runtime->audit(report);  // includes the shard's engine slab
+    } else {
+      shard->sim.audit(report);  // userless shard: engine only
+    }
+  }
+  report.require();
 }
 
 ShardedReplayResult run_sharded_replay(const Trace& trace,

@@ -71,7 +71,8 @@ struct ShardedReplayResult {
 
 /// Creates one fresh policy instance per shard (policies may carry state,
 /// so shards cannot share one).
-using PolicyFactory = std::function<std::unique_ptr<PrefetchPolicy>()>;
+using PolicyFactory =  // invoked once per shard at setup
+    std::function<std::unique_ptr<PrefetchPolicy>()>;  // lint:allow(std::function)
 
 class ShardedSim {
  public:
@@ -111,6 +112,11 @@ class ShardedSim {
   void exchange_setpoints();
   /// Earliest pending event across the fleet (+inf when drained).
   double fleet_next_event_time();
+  /// SPECPF_AUDIT epoch-barrier sweep: audits every shard's engine slab and
+  /// stack slice on the driver thread, throwing ContractViolation (with the
+  /// failing shard named) on the first corrupt structure. Sampled at
+  /// power-of-two epochs plus once after the loop drains.
+  void audit_fleet() const;
 
   ShardedReplayConfig config_;
   std::string policy_name_;

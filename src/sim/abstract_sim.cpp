@@ -98,7 +98,8 @@ AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
   // sequence is identical across dispatch modes with the same seed.
   Rng prefetch_rng = Rng(config.seed).substream(0x9F);
   const double prefetch_rate = config.op.prefetch_rate * lambda;
-  std::function<void()> prefetch_arrival;
+  // One closure per run, invoked by reference.
+  std::function<void()> prefetch_arrival;  // lint:allow(std::function)
   if (config.prefetch_dispatch ==
           AbstractSimConfig::PrefetchDispatch::kIndependentPoisson &&
       prefetch_rate > 0.0) {
@@ -119,7 +120,8 @@ AbstractSimResult run_abstract_sim(const AbstractSimConfig& config) {
     }
   }
 
-  std::function<void()> arrival = [&] {
+  // One closure per run, invoked by reference.
+  std::function<void()> arrival = [&] {  // lint:allow(std::function)
     // --- classify this request ---
     const double u = rng.next_double();
     if (u < p_base) {

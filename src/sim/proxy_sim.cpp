@@ -75,7 +75,10 @@ ProxySimResult run_proxy_sim(const ProxySimConfig& config,
         root.substream(200 + u)));
   }
 
-  std::function<void(UserId)> schedule_next_request = [&](UserId user) {
+  // One recursive closure per run, captured by reference in the inline
+  // engine callbacks.
+  std::function<void(UserId)> schedule_next_request =  // lint:allow(std::function)
+      [&](UserId user) {
     const Request req = streams[user]->next();
     if (req.time > end_time) return;
     sim.schedule_at(req.time, [&, user, req] {

@@ -1,6 +1,8 @@
 #include "sim/stack_runtime.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "control/governor.hpp"
 #include "sim/proxy_sim.hpp"
@@ -52,6 +54,11 @@ void StackRuntime::refresh_estimate(UserId user) {
 }
 
 void StackRuntime::begin_measurement() {
+  if constexpr (kAuditBuild) {
+    AuditReport report;
+    audit(report);
+    report.require();
+  }
   measuring_ = true;
   metrics_.reset();
   server_.reset_stats();
@@ -282,8 +289,70 @@ ProxySimResult assemble_stack_result(const SimMetrics& metrics,
 
 ProxySimResult StackRuntime::finalize(const ServerStats& horizon_stats,
                                       std::string policy_name) const {
+  if constexpr (kAuditBuild) {
+    AuditReport report;
+    audit(report);
+    report.require();
+  }
   return assemble_stack_result(metrics_, horizon_stats, aggregates(),
                                std::move(policy_name));
+}
+
+void StackRuntime::audit(AuditReport& report) const {
+  const AuditScope scope(report, "StackRuntime");
+  // In-flight bookkeeping: keys well-formed, promotion flags consistent,
+  // and per-user demand counts re-derived from scratch.
+  std::vector<int> derived_demand(config_.num_users, 0);
+  inflight_.for_each([&](std::uint64_t key, const Inflight& fl) {
+    const auto user = static_cast<std::uint32_t>(key >> 32);
+    if (!report.check(user < config_.num_users,
+                      "in-flight key names user " + std::to_string(user) +
+                          " outside the fleet")) {
+      return;
+    }
+    report.check(fl.is_prefetch || !fl.demand_promoted,
+                 "demand transfer marked demand_promoted (user " +
+                     std::to_string(user) + ")");
+    report.check(!fl.is_prefetch || fl.waiter_times.empty() ||
+                     fl.demand_promoted,
+                 "prefetch with waiters was never promoted (user " +
+                     std::to_string(user) + ")");
+    if (!fl.is_prefetch || fl.demand_promoted) ++derived_demand[user];
+  });
+  for (std::uint32_t u = 0; u < config_.num_users; ++u) {
+    report.check(demand_inflight_[u] == derived_demand[u],
+                 "user " + std::to_string(u) + ": demand_inflight_ says " +
+                     std::to_string(demand_inflight_[u]) +
+                     " but the in-flight index holds " +
+                     std::to_string(derived_demand[u]) +
+                     " link-holding transfers");
+    report.check(pending_prefetches_[u].empty() || demand_inflight_[u] > 0,
+                 "user " + std::to_string(u) +
+                     " defers prefetches with no blocking demand fetch");
+  }
+  // Cached ĥ' estimates: each user's cache must be bit-equal to a fresh
+  // recomputation (refresh_estimate runs after every mutation), and the
+  // incrementally-maintained sum within accumulation tolerance of the
+  // exact one.
+  double exact_sum = 0.0;
+  for (std::uint32_t u = 0; u < config_.num_users; ++u) {
+    const double fresh = caches_->estimate(u, config_.estimator_model);
+    report.check(estimate_cache_[u] == fresh,
+                 "user " + std::to_string(u) +
+                     ": cached h' estimate is stale");
+    exact_sum += estimate_cache_[u];
+  }
+  const double tolerance =
+      1e-7 * (1.0 + static_cast<double>(config_.num_users));
+  report.check(std::abs(estimate_sum_ - exact_sum) <= tolerance,
+               "running h' sum drifted " +
+                   std::to_string(std::abs(estimate_sum_ - exact_sum)) +
+                   " from the exact sum");
+  // Structural sweeps of the planes and the engine this slice runs on.
+  inflight_.audit(report);
+  caches_->audit(report);
+  predictor_.audit(report);
+  sim_.audit(report);
 }
 
 }  // namespace specpf

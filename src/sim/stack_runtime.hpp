@@ -145,7 +145,19 @@ class StackRuntime {
   /// Cache-derived sums for result assembly and cross-shard merging.
   StackAggregates aggregates() const;
 
+  /// Deep-invariant sweep (util/audit.hpp) across the whole stack slice:
+  /// the cache plane's arenas, the predictor plane's ContextArena, the
+  /// in-flight index (every entry has a waiter unless it is an untouched
+  /// prefetch, demand counts conserve, deferred prefetches imply a blocked
+  /// demand), and the cached ĥ' estimates against fresh recomputation.
+  /// Runs automatically at begin_measurement/finalize in SPECPF_AUDIT
+  /// builds (throwing ContractViolation on failure); callable from tests in
+  /// any build.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditPeer;  // corruption-injection tests only
+
   struct Inflight {
     bool is_prefetch = false;
     /// A demand miss attached to this prefetch while it was in flight: the
@@ -180,10 +192,28 @@ class StackRuntime {
       return std::move(node.mapped());
     }
 
+    std::size_t size() const {
+      return use_tree_ ? tree_.size() : flat_.size();
+    }
+    /// Visits every (key, const Inflight&) entry; cold path (audit sweeps).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      if (use_tree_) {
+        for (const auto& [key, value] : tree_) fn(key, value);
+      } else {
+        flat_.for_each(fn);
+      }
+    }
+    void audit(AuditReport& report) const {
+      if (!use_tree_) flat_.audit(report);
+    }
+
    private:
     bool use_tree_;
     FlatHashMap<Inflight> flat_;
-    std::map<std::uint64_t, Inflight> tree_;
+    // Differential baseline for FlatHashMap, selected only by the
+    // inflight_index=tree debug config.
+    std::map<std::uint64_t, Inflight> tree_;  // lint:allow(std::map)
   };
 
   static std::uint64_t inflight_key(UserId user, ItemId item) {

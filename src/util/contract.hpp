@@ -44,3 +44,21 @@ namespace detail {
       ::specpf::detail::contract_fail("invariant", #cond, __FILE__,         \
                                       __LINE__);                            \
   } while (false)
+
+// Debug-only invariant check for per-access hot paths (flat-hash probes,
+// arena residency scans): full SPECPF_ASSERT semantics in Debug builds,
+// compiled out entirely in Release (NDEBUG) so the data-plane inner loops
+// carry no branch. The structural audit layer (util/audit.hpp) is the
+// Release-capable safety net for the same invariants.
+#ifdef NDEBUG
+#define SPECPF_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define SPECPF_DCHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specpf::detail::contract_fail("debug invariant", #cond, __FILE__,   \
+                                      __LINE__);                            \
+  } while (false)
+#endif

@@ -13,9 +13,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <utility>
 
+#include "util/audit.hpp"
 #include "util/contract.hpp"
 
 namespace specpf {
@@ -31,6 +33,62 @@ inline std::uint64_t mix_u64(std::uint64_t x) noexcept {
   x ^= x >> 31;
   return x;
 }
+
+namespace detail {
+
+/// Shared audit walker for the two robin-hood tables below (same probing
+/// core, different storage layout). Re-derives every slot's probe distance
+/// from its key and checks it against the stored metadata byte:
+///   * a wrong distance means the slot was moved without fixing metadata
+///     (or the metadata byte itself was corrupted) — lookups would
+///     terminate early and miss live entries;
+///   * probe-distance monotonicity (a slot's distance exceeds its
+///     predecessor's by at most 1) is exactly the invariant backward-shift
+///     deletion maintains — a violation means an erase left a hole mid-run
+///     and every entry behind it is unreachable.
+template <typename KeyAt>
+void audit_robin_hood(const std::uint8_t* meta, std::size_t capacity,
+                      std::size_t mask, std::size_t size,
+                      std::uint32_t max_probe, KeyAt&& key_at,
+                      AuditReport& report) {
+  if (capacity == 0) {
+    report.check(size == 0, "empty table reports nonzero size");
+    return;
+  }
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    const std::uint32_t dist = meta[i];
+    if (dist == 0) continue;
+    ++live;
+    if (!report.check(dist <= max_probe,
+                      "slot " + std::to_string(i) +
+                          " probe distance exceeds kMaxProbe")) {
+      continue;
+    }
+    const std::size_t home = mix_u64(key_at(i)) & mask;
+    const std::uint32_t derived =
+        static_cast<std::uint32_t>(((i - home) & mask) + 1);
+    report.check(derived == dist,
+                 "slot " + std::to_string(i) +
+                     " stored probe distance disagrees with its key's home "
+                     "(stored " +
+                     std::to_string(dist) + ", derived " +
+                     std::to_string(derived) + ")");
+    if (dist > 1) {
+      const std::size_t prev = (i - 1) & mask;
+      report.check(static_cast<std::uint32_t>(meta[prev]) + 1 >= dist,
+                   "slot " + std::to_string(i) +
+                       " breaks backward-shift monotonicity (distance " +
+                       std::to_string(dist) + " after predecessor distance " +
+                       std::to_string(meta[prev]) + ")");
+    }
+  }
+  report.check(live == size, "occupied-slot count " + std::to_string(live) +
+                                 " disagrees with size() " +
+                                 std::to_string(size));
+}
+
+}  // namespace detail
 
 /// Flat hash map from std::uint64_t to V. V must be default-constructible,
 /// movable, and move-assignable. Iteration order is an implementation
@@ -109,7 +167,7 @@ class FlatHashMap {
   /// Precondition: the key is present.
   V take(std::uint64_t key) {
     const std::size_t idx = find_index(key);
-    SPECPF_EXPECTS(idx != kNotFound);
+    SPECPF_DCHECK(idx != kNotFound);
     V out = std::move(slots_[idx].value);
     erase_at(idx);
     return out;
@@ -131,6 +189,24 @@ class FlatHashMap {
     std::size_t cap = kMinCapacity;
     while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
     if (cap > capacity_) rehash_to(cap);
+  }
+
+  /// Visits every (key, const value&) pair in unspecified order. Cold-path
+  /// helper for audit sweeps and diagnostics; the data plane never scans.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (meta_[i] != 0) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// Deep-invariant walk (util/audit.hpp): probe-distance agreement,
+  /// backward-shift monotonicity, occupancy vs size().
+  void audit(AuditReport& report) const {
+    AuditScope scope(report, "FlatHashMap");
+    detail::audit_robin_hood(
+        meta_, capacity_, mask_, size_, kMaxProbe,
+        [this](std::size_t i) { return slots_[i].key; }, report);
   }
 
   template <bool Const>
@@ -166,6 +242,7 @@ class FlatHashMap {
   const_iterator end() const { return const_iterator(this, capacity_); }
 
  private:
+  friend struct AuditPeer;  // corruption-injection tests only
   static constexpr std::size_t kNotFound = ~std::size_t{0};
   static constexpr std::size_t kMinCapacity = 16;
   // Grow past 7/8 occupancy: robin-hood keeps probe sequences short up to
@@ -240,7 +317,7 @@ class FlatHashMap {
       if (robin_place(carry_key, carry_value)) placed = find(key);
     }
     ++size_;
-    SPECPF_ASSERT(placed != nullptr);
+    SPECPF_DCHECK(placed != nullptr);
     return placed;
   }
 
@@ -279,8 +356,8 @@ class FlatHashMap {
       // At ≤ 7/16 load after doubling a mixed-hash probe cannot plausibly
       // reach kMaxProbe; fail loudly rather than recurse mid-rehash. The
       // call stays outside the assert macro: it performs the insertion.
-      V* replaced = robin_place(key, value);
-      SPECPF_ASSERT(replaced != nullptr);
+      [[maybe_unused]] V* replaced = robin_place(key, value);
+      SPECPF_DCHECK(replaced != nullptr);
     }
     if (old_slots) std::allocator<Entry>{}.deallocate(old_slots, old_capacity);
     delete[] old_meta;
@@ -378,7 +455,28 @@ class FlatIndexMap {
     if (cap > capacity_) rehash_to(cap);
   }
 
+  /// Visits every (key, value) entry. Iteration order is an implementation
+  /// detail (deterministic for a given operation sequence); callers that
+  /// need a canonical order sort. Used by the audit walkers to cross-check
+  /// index entries against the slabs they point into.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (meta_[i] != 0) fn(keys_[i], values_[i]);
+    }
+  }
+
+  /// Deep-invariant walk (util/audit.hpp): probe-distance agreement,
+  /// backward-shift monotonicity, occupancy vs size().
+  void audit(AuditReport& report) const {
+    AuditScope scope(report, "FlatIndexMap");
+    detail::audit_robin_hood(
+        meta_, capacity_, mask_, size_, kMaxProbe,
+        [this](std::size_t i) { return keys_[i]; }, report);
+  }
+
  private:
+  friend struct AuditPeer;  // corruption-injection tests only
   static constexpr std::size_t kNotFound = ~std::size_t{0};
   static constexpr std::size_t kMinCapacity = 16;
   static constexpr std::size_t kMaxLoadNum = 7;
@@ -439,7 +537,7 @@ class FlatIndexMap {
       if (robin_place(carry_key, carry_value)) placed = find(key);
     }
     ++size_;
-    SPECPF_ASSERT(placed != nullptr);
+    SPECPF_DCHECK(placed != nullptr);
     return placed;
   }
 
@@ -473,8 +571,8 @@ class FlatIndexMap {
       if (old_meta[i] == 0) continue;
       std::uint64_t key = old_keys[i];
       std::uint32_t value = old_values[i];
-      std::uint32_t* replaced = robin_place(key, value);
-      SPECPF_ASSERT(replaced != nullptr);
+      [[maybe_unused]] std::uint32_t* replaced = robin_place(key, value);
+      SPECPF_DCHECK(replaced != nullptr);
     }
     delete[] old_keys;
     delete[] old_values;
