@@ -133,8 +133,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    Table table({"policy", "t_mean", "ci95", "vs none", "hit ratio", "rho",
-                 "prefetch/req", "useful frac", "R per req"});
+    Table table({"policy", "t_mean", "ci95", "vs none", "p50", "p95", "p99",
+                 "hit ratio", "rho", "prefetch/req", "useful frac",
+                 "R per req"});
     table.set_title("Policy shootout — " + label + " (b=" +
                     std::to_string(cfg.bandwidth) + "), predictor=" +
                     predictor + ", " + std::to_string(replications) +
@@ -143,9 +144,13 @@ int main(int argc, char** argv) {
 
     double baseline_t = 0.0;
     for (std::size_t p = 0; p < kNumPolicies; ++p) {
-      std::vector<double> t_means, hit_ratios, rhos, ppr, useful, rpr;
+      std::vector<double> t_means, p50s, p95s, p99s, hit_ratios, rhos, ppr,
+          useful, rpr;
       for (const auto& r : cells[p]) {
         t_means.push_back(r.mean_access_time);
+        p50s.push_back(r.access_time_p50);
+        p95s.push_back(r.access_time_p95);
+        p99s.push_back(r.access_time_p99);
         hit_ratios.push_back(r.hit_ratio);
         rhos.push_back(r.server_utilization);
         ppr.push_back(static_cast<double>(r.prefetch_jobs) /
@@ -157,6 +162,8 @@ int main(int argc, char** argv) {
       if (p == 0) baseline_t = ci.mean;
       const double ratio = baseline_t > 0.0 ? ci.mean / baseline_t : 1.0;
       table.add_row({cells[p].front().policy, ci.mean, ci.half_width, ratio,
+                     t_interval(p50s).mean, t_interval(p95s).mean,
+                     t_interval(p99s).mean,
                      t_interval(hit_ratios).mean, t_interval(rhos).mean,
                      t_interval(ppr).mean, t_interval(useful).mean,
                      t_interval(rpr).mean});

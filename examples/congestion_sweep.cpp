@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
 #include "sim/trace_replay.hpp"
@@ -39,6 +41,41 @@ PolicyFactory policy_factory(std::string name) {
     name = "fixed-0.05";
   }
   return [name] { return make_policy_by_name(name); };
+}
+
+/// Telemetry output path for one scenario x governor run: inserts
+/// "-<scenario>-<gov>" before the extension so a sweep never overwrites
+/// its own exports ("out.json" -> "out-flash-token-200.json").
+std::string run_output_path(const std::string& base,
+                            const std::string& scenario,
+                            const std::string& gov) {
+  const std::size_t dot = base.find_last_of('.');
+  const std::string suffix = "-" + scenario + "-" + gov;
+  if (dot == std::string::npos || base.find('/', dot) != std::string::npos) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+void print_per_shard_stats(const ShardedReplayResult& sr) {
+  Table table({"shard", "requests", "hit ratio", "peak depth", "events",
+               "mbox sent", "mbox recv"});
+  table.set_title("per-shard breakdown (epochs " + std::to_string(sr.epochs) +
+                  ", cross-shard events " +
+                  std::to_string(sr.cross_shard_events) + ")");
+  table.set_precision(4);
+  for (std::size_t s = 0; s < sr.num_shards; ++s) {
+    const ProxySimResult& r = sr.per_shard[s];
+    const ShardLoadStats& load = sr.shard_load[s];
+    table.add_row({static_cast<std::int64_t>(s),
+                   static_cast<std::int64_t>(r.requests), r.hit_ratio,
+                   r.peak_queue_depth,
+                   static_cast<std::int64_t>(load.events_executed),
+                   static_cast<std::int64_t>(load.mailbox_sent),
+                   static_cast<std::int64_t>(load.mailbox_received)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
 }
 
 }  // namespace
@@ -70,7 +107,25 @@ int main(int argc, char** argv) {
   args.add_flag("backbone-latency", "0.05",
                 "cross-shard latency = epoch lookahead (s)");
   args.add_flag("seed", "2001", "random seed");
+  args.add_flag("trace", "",
+                "export a Chrome trace-event JSON (Perfetto-loadable) per "
+                "run; '-<scenario>-<governor>' is inserted before the "
+                "extension");
+  args.add_flag("timeseries", "",
+                "export the sampled gauge time series as CSV per run (same "
+                "suffix rule as --trace)");
+  args.add_flag("sample-interval", "0.25",
+                "telemetry gauge sampling cadence (sim-seconds)");
+  args.add_flag("per-shard-stats", "false",
+                "print the per-shard event/mailbox breakdown (sharded runs)");
   if (!args.parse(argc, argv)) return 1;
+
+  const std::string trace_path = args.get_string("trace");
+  const std::string series_path = args.get_string("timeseries");
+  const bool telemetry_on = !trace_path.empty() || !series_path.empty();
+  const bool per_shard_stats = args.get_bool("per-shard-stats");
+  TelemetryConfig tele_cfg;
+  tele_cfg.sample_interval = args.get_double("sample-interval");
 
   SyntheticTraceConfig trace_cfg;
   trace_cfg.num_users = static_cast<std::size_t>(args.get_int("users"));
@@ -107,8 +162,8 @@ int main(int argc, char** argv) {
     }
     const Trace trace = generate_synthetic_trace(trace_cfg);
     Table table({"governor", "peak depth", "peak slowdown", "access time",
-                 "hit ratio", "instant hit", "rho", "prefetch jobs",
-                 "throttled", "backbone peak", "wall s"});
+                 "p50", "p95", "p99", "hit ratio", "instant hit", "rho",
+                 "prefetch jobs", "throttled", "backbone peak", "wall s"});
     table.set_title("scenario: " + scenario +
                     "  (span " + std::to_string(trace.duration()).substr(0, 6) +
                     "s, " + std::to_string(trace.size()) + " requests)");
@@ -118,9 +173,18 @@ int main(int argc, char** argv) {
       const auto t0 = Clock::now();
       ProxySimResult r;
       double backbone_peak = 0.0;
+      // Telemetry lives per run: one plane (unsharded) or one plane per
+      // shard, exported before the next governor reuses the config.
+      std::unique_ptr<TelemetryPlane> plane;
+      std::unique_ptr<TelemetryFleet> fleet;
       if (shards <= 1) {
+        if (telemetry_on) {
+          plane = std::make_unique<TelemetryPlane>(tele_cfg);
+          replay_cfg.telemetry = plane.get();
+        }
         auto policy = factory();
         r = run_trace_replay(trace, replay_cfg, *policy);
+        replay_cfg.telemetry = nullptr;
       } else {
         ShardedReplayConfig sharded_cfg;
         sharded_cfg.stack = replay_cfg;
@@ -128,13 +192,30 @@ int main(int argc, char** argv) {
         sharded_cfg.num_threads = threads;
         sharded_cfg.backbone_bandwidth = args.get_double("backbone-bandwidth");
         sharded_cfg.backbone_latency = args.get_double("backbone-latency");
+        if (telemetry_on) {
+          fleet = std::make_unique<TelemetryFleet>(tele_cfg, shards);
+          sharded_cfg.telemetry = fleet.get();
+        }
         const ShardedReplayResult sr =
             run_sharded_replay(trace, sharded_cfg, factory);
         r = sr.merged;
         backbone_peak = sr.backbone.peak_queue_depth;
+        if (per_shard_stats) print_per_shard_stats(sr);
       }
       const double secs =
           std::chrono::duration<double>(Clock::now() - t0).count();
+      if (!trace_path.empty()) {
+        const std::string out = run_output_path(trace_path, scenario, gov);
+        const bool ok = plane ? write_chrome_trace(out, *plane)
+                              : write_chrome_trace(out, *fleet);
+        if (!ok) std::fprintf(stderr, "cannot write trace '%s'\n", out.c_str());
+      }
+      if (!series_path.empty()) {
+        const std::string out = run_output_path(series_path, scenario, gov);
+        const bool ok = plane ? write_timeseries_csv(out, *plane)
+                              : write_timeseries_csv(out, *fleet);
+        if (!ok) std::fprintf(stderr, "cannot write series '%s'\n", out.c_str());
+      }
       // "instant hit" = served from cache with zero wait; the overall hit
       // ratio also counts hits that blocked on a live transfer, which is
       // exactly what congestion inflates.
@@ -143,7 +224,8 @@ int main(int argc, char** argv) {
                                           static_cast<double>(r.requests)
                                     : 0.0);
       table.add_row({gov, r.peak_queue_depth, r.peak_slowdown,
-                     r.mean_access_time, r.hit_ratio, instant_hit,
+                     r.mean_access_time, r.access_time_p50, r.access_time_p95,
+                     r.access_time_p99, r.hit_ratio, instant_hit,
                      r.server_utilization,
                      static_cast<std::int64_t>(r.prefetch_jobs),
                      static_cast<std::int64_t>(r.throttled_prefetches),

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
 #include "sim/trace_replay.hpp"
@@ -40,6 +42,16 @@ PolicyFactory policy_factory(std::string name) {
     name = "threshold-a";
   }
   return [name] { return make_policy_by_name(name); };
+}
+
+/// Inserts "-<token>" before the path's extension so a multi-policy sweep
+/// never overwrites its own telemetry exports.
+std::string suffixed_path(const std::string& base, const std::string& token) {
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || base.find('/', dot) != std::string::npos) {
+    return base + "-" + token;
+  }
+  return base.substr(0, dot) + "-" + token + base.substr(dot);
 }
 
 }  // namespace
@@ -75,7 +87,23 @@ int main(int argc, char** argv) {
   args.add_flag("legacy-predictors", "false",
                 "run the legacy virtual Predictor tables instead of the "
                 "slab-backed SoA predictor plane");
+  args.add_flag("trace", "",
+                "export a Chrome trace-event JSON (Perfetto-loadable) per "
+                "policy; '-<policy>' is inserted before the extension");
+  args.add_flag("timeseries", "",
+                "export the sampled gauge time series as CSV per policy "
+                "(same suffix rule as --trace)");
+  args.add_flag("sample-interval", "0.25",
+                "telemetry gauge sampling cadence (sim-seconds)");
+  args.add_flag("per-shard-stats", "false",
+                "print the per-shard event/mailbox breakdown (sharded runs)");
   if (!args.parse(argc, argv)) return 1;
+
+  const std::string trace_path = args.get_string("trace");
+  const std::string series_path = args.get_string("timeseries");
+  const bool telemetry_on = !trace_path.empty() || !series_path.empty();
+  TelemetryConfig tele_cfg;
+  tele_cfg.sample_interval = args.get_double("sample-interval");
 
   SyntheticTraceConfig trace_cfg;
   trace_cfg.num_users = static_cast<std::size_t>(args.get_int("users"));
@@ -119,9 +147,16 @@ int main(int argc, char** argv) {
     t0 = Clock::now();
     ProxySimResult r;
     std::uint64_t backbone_jobs = 0;
+    std::unique_ptr<TelemetryPlane> plane;
+    std::unique_ptr<TelemetryFleet> fleet;
     if (shards <= 1) {
+      if (telemetry_on) {
+        plane = std::make_unique<TelemetryPlane>(tele_cfg);
+        replay_cfg.telemetry = plane.get();
+      }
       auto policy = factory();
       r = run_trace_replay(trace, replay_cfg, *policy);
+      replay_cfg.telemetry = nullptr;
     } else {
       ShardedReplayConfig sharded_cfg;
       sharded_cfg.stack = replay_cfg;
@@ -129,12 +164,42 @@ int main(int argc, char** argv) {
       sharded_cfg.num_threads = threads;
       sharded_cfg.backbone_bandwidth = args.get_double("backbone-bandwidth");
       sharded_cfg.backbone_latency = args.get_double("backbone-latency");
+      if (telemetry_on) {
+        fleet = std::make_unique<TelemetryFleet>(tele_cfg, shards);
+        sharded_cfg.telemetry = fleet.get();
+      }
       const ShardedReplayResult sr =
           run_sharded_replay(trace, sharded_cfg, factory);
       r = sr.merged;
       backbone_jobs = sr.backbone.jobs();
+      if (args.get_bool("per-shard-stats")) {
+        std::printf("policy %s per-shard breakdown:\n", name.c_str());
+        for (std::size_t s = 0; s < sr.num_shards; ++s) {
+          const ShardLoadStats& load = sr.shard_load[s];
+          std::printf(
+              "  shard %zu: %llu requests, %llu events, mbox %llu out / "
+              "%llu in\n",
+              s,
+              static_cast<unsigned long long>(sr.per_shard[s].requests),
+              static_cast<unsigned long long>(load.events_executed),
+              static_cast<unsigned long long>(load.mailbox_sent),
+              static_cast<unsigned long long>(load.mailbox_received));
+        }
+      }
     }
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!trace_path.empty()) {
+      const std::string out = suffixed_path(trace_path, name);
+      const bool ok = plane ? write_chrome_trace(out, *plane)
+                            : write_chrome_trace(out, *fleet);
+      if (!ok) std::fprintf(stderr, "cannot write trace '%s'\n", out.c_str());
+    }
+    if (!series_path.empty()) {
+      const std::string out = suffixed_path(series_path, name);
+      const bool ok = plane ? write_timeseries_csv(out, *plane)
+                            : write_timeseries_csv(out, *fleet);
+      if (!ok) std::fprintf(stderr, "cannot write series '%s'\n", out.c_str());
+    }
     // Runtime footprint per user: growth of the RSS high-water mark over
     // this run (per-user caches + in-flight bookkeeping + predictor). The
     // first policy row carries the cost; later rows mostly reuse freed

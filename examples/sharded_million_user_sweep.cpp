@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
 #include "util/argparse.hpp"
@@ -82,7 +84,22 @@ int main(int argc, char** argv) {
   args.add_flag("legacy-predictors", "false",
                 "run the legacy virtual Predictor tables instead of the "
                 "slab-backed SoA predictor plane");
+  args.add_flag("trace", "",
+                "export a Chrome trace-event JSON (Perfetto-loadable) for "
+                "the first thread-count run");
+  args.add_flag("timeseries", "",
+                "export the sampled gauge time series as CSV for the first "
+                "thread-count run");
+  args.add_flag("sample-interval", "0.25",
+                "telemetry gauge sampling cadence (sim-seconds)");
+  args.add_flag("per-shard-stats", "false",
+                "print the per-shard event/mailbox breakdown per run");
   if (!args.parse(argc, argv)) return 1;
+
+  const std::string trace_path = args.get_string("trace");
+  const std::string series_path = args.get_string("timeseries");
+  TelemetryConfig tele_cfg;
+  tele_cfg.sample_interval = args.get_double("sample-interval");
 
   SyntheticTraceConfig trace_cfg;
   trace_cfg.num_users = static_cast<std::size_t>(args.get_int("users"));
@@ -128,10 +145,42 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   for (std::size_t threads : thread_counts) {
     cfg.num_threads = threads;
+    // Telemetry records on the first thread-count run only; it is pure
+    // observation, so the later runs it skips still reproduce the same
+    // merged results (which the determinism check below verifies).
+    std::unique_ptr<TelemetryFleet> fleet;
+    const bool telemetry_on =
+        (!trace_path.empty() || !series_path.empty()) && !have_reference;
+    if (telemetry_on) {
+      fleet = std::make_unique<TelemetryFleet>(tele_cfg, cfg.num_shards);
+      cfg.telemetry = fleet.get();
+    }
     const MemoryUsage mem_before = read_memory_usage();
     t0 = Clock::now();
     const ShardedReplayResult r = run_sharded_replay(trace, cfg, factory);
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    cfg.telemetry = nullptr;
+    if (telemetry_on && !trace_path.empty() &&
+        !write_chrome_trace(trace_path, *fleet)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", trace_path.c_str());
+    }
+    if (telemetry_on && !series_path.empty() &&
+        !write_timeseries_csv(series_path, *fleet)) {
+      std::fprintf(stderr, "cannot write series '%s'\n", series_path.c_str());
+    }
+    if (args.get_bool("per-shard-stats")) {
+      std::printf("threads %zu per-shard breakdown:\n", threads);
+      for (std::size_t s = 0; s < r.num_shards; ++s) {
+        const ShardLoadStats& load = r.shard_load[s];
+        std::printf("  shard %zu: %llu requests, %llu events, mbox %llu out "
+                    "/ %llu in\n",
+                    s,
+                    static_cast<unsigned long long>(r.per_shard[s].requests),
+                    static_cast<unsigned long long>(load.events_executed),
+                    static_cast<unsigned long long>(load.mailbox_sent),
+                    static_cast<unsigned long long>(load.mailbox_received));
+      }
+    }
     // Fleet footprint per user: growth of the RSS high-water mark over this
     // run (the first thread-count row carries the cost; later rows reuse
     // freed pages and report marginal growth).

@@ -104,6 +104,11 @@ class PrefetchGovernor {
     return load.slowdown;
   }
 
+  /// Internal control state as one telemetry gauge (token mean level /
+  /// AIMD θ_g / confidence precision). Pure read, sampled by the telemetry
+  /// plane at its own cadence; never consulted on the admission path.
+  virtual double state_gauge() const { return 0.0; }
+
   /// Fleet aggregate pushed back by the sharded driver at the barrier
   /// (canonical order, driver thread — the only cross-shard mutation).
   void set_fleet_signal(double signal) noexcept { fleet_signal_ = signal; }
@@ -133,6 +138,14 @@ class TokenBucketGovernor final : public PrefetchGovernor {
 
   double tokens(std::size_t group) const { return buckets_[group].tokens; }
 
+  /// Mean token level across groups, as of each bucket's last refill (no
+  /// clock access, so sampling cannot perturb refill arithmetic).
+  double state_gauge() const override {
+    double sum = 0.0;
+    for (const Bucket& b : buckets_) sum += b.tokens;
+    return sum / static_cast<double>(buckets_.size());
+  }
+
  private:
   struct Bucket {
     double tokens = 0.0;
@@ -152,6 +165,7 @@ class AimdGovernor final : public PrefetchGovernor {
              double size, const LoadSignals& load) override;
 
   double theta() const noexcept { return theta_; }
+  double state_gauge() const override { return theta_; }
 
  private:
   void maybe_adjust(double now, double slowdown);
@@ -176,6 +190,7 @@ class ConfidenceGovernor final : public PrefetchGovernor {
   void on_prefetch_wasted() override { precision_.add(0.0); }
 
   double precision() const noexcept { return precision_.value(); }
+  double state_gauge() const override { return precision_.value(); }
 
  private:
   GovernorConfig config_;

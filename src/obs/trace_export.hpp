@@ -1,0 +1,42 @@
+// Export of the telemetry plane's recordings:
+//
+//   * write_chrome_trace    — Chrome trace-event JSON (loads directly in
+//                             Perfetto or chrome://tracing). One process
+//                             per shard; spans render on a "link" track
+//                             (demand/prefetch transits) and a "waits"
+//                             track (user-perceived blocking), each gauge
+//                             becomes a counter track. Timestamps are
+//                             sim-seconds scaled to microseconds.
+//   * write_timeseries_csv  — flat CSV of every shard's sampled gauge
+//                             rows (shard, time, <gauge columns>), for
+//                             plotting outside a trace viewer.
+//
+// Both are cold-path, end-of-run writers; they never run inside the
+// simulation and hold no state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace specpf {
+
+/// Writes `n` shard planes as one Chrome trace-event JSON file. Returns
+/// false (and writes nothing useful) when the file cannot be opened.
+bool write_chrome_trace(const std::string& path,
+                        const TelemetryPlane* const* planes, std::size_t n);
+bool write_chrome_trace(const std::string& path, const TelemetryPlane& plane);
+bool write_chrome_trace(const std::string& path, const TelemetryFleet& fleet);
+
+/// Writes every shard's sampled time series as CSV. Columns are the union
+/// of all shards' gauge names in first-seen (canonical shard) order; a
+/// shard without some gauge leaves that cell empty.
+bool write_timeseries_csv(const std::string& path,
+                          const TelemetryPlane* const* planes, std::size_t n);
+bool write_timeseries_csv(const std::string& path,
+                          const TelemetryPlane& plane);
+bool write_timeseries_csv(const std::string& path,
+                          const TelemetryFleet& fleet);
+
+}  // namespace specpf

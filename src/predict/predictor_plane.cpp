@@ -61,6 +61,9 @@ class FrequencyPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+  std::uint64_t context_count() const override {
+    return arena_.context_count();
+  }
 
   void audit(AuditReport& report) const override { arena_.audit(report); }
 
@@ -103,6 +106,9 @@ class MarkovPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+  std::uint64_t context_count() const override {
+    return arena_.context_count();
+  }
 
   void audit(AuditReport& report) const override { arena_.audit(report); }
 
@@ -167,6 +173,9 @@ class PpmPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+  std::uint64_t context_count() const override {
+    return arena_.context_count();
+  }
 
   void audit(AuditReport& report) const override { arena_.audit(report); }
 
@@ -243,6 +252,9 @@ class DependencyGraphPlane final : public PredictorPlane {
   }
 
   std::uint64_t counter_halvings() const override { return arena_.halvings(); }
+  std::uint64_t context_count() const override {
+    return arena_.context_count();
+  }
 
   void audit(AuditReport& report) const override { arena_.audit(report); }
 

@@ -79,6 +79,10 @@ class PredictorPlane {
   /// u64 counts instead of quantizing).
   virtual std::uint64_t counter_halvings() const { return 0; }
 
+  /// Distinct contexts interned in the plane's ContextArena (0 for planes
+  /// without one) — the occupancy gauge the telemetry plane samples.
+  virtual std::uint64_t context_count() const { return 0; }
+
   /// Deep-invariant sweep (util/audit.hpp): the arena planes walk their
   /// ContextArena (successor-chain conservation, interning round-trips,
   /// index health). The legacy tables and the stateless oracle have nothing

@@ -21,6 +21,9 @@ void ShardedReplayConfig::validate() const {
   SPECPF_EXPECTS(num_shards >= 1);
   SPECPF_EXPECTS(backbone_latency > 0.0);
   SPECPF_EXPECTS(backbone_bandwidth > 0.0);
+  // Sharded telemetry goes through the fleet, one plane per shard.
+  SPECPF_EXPECTS(stack.telemetry == nullptr);
+  SPECPF_EXPECTS(telemetry == nullptr || telemetry->size() == num_shards);
 }
 
 // One region: an independent engine plus its data plane. `runtime` is null
@@ -43,6 +46,18 @@ struct ShardedSim::Shard {
   ShardMailbox outbox;
   ServerStats horizon;
   BackboneStats backbone_horizon;
+
+  /// This shard's telemetry plane (null when the run carries none) and the
+  /// origin-uplink gauge ids the driver refreshes at barriers.
+  TelemetryPlane* telemetry = nullptr;
+  TelemetryRegistry::GaugeId g_origin_queue = 0;
+  TelemetryRegistry::GaugeId g_origin_util = 0;
+  TelemetryRegistry::GaugeId g_origin_depth = 0;
+  TelemetryRegistry::GaugeId g_origin_slowdown = 0;
+
+  /// Mailbox traffic totals for the per-shard breakdown.
+  std::uint64_t mailbox_sent = 0;
+  std::uint64_t mailbox_received = 0;
 };
 
 namespace {
@@ -95,10 +110,23 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
     shard->origin =
         std::make_unique<OriginLink>(shard->sim, config.backbone_bandwidth);
     if (control_plane_on) shard->origin->enable_sensor(config.stack.sensor);
+    if (config.telemetry != nullptr) {
+      // Origin-uplink gauges register *before* the runtime builds (the
+      // runtime seals the plane); the driver refreshes them at barriers.
+      shard->telemetry = &config.telemetry->shard(s);
+      TelemetryRegistry& reg = shard->telemetry->registry();
+      shard->g_origin_queue = reg.register_gauge("origin.queue_depth");
+      shard->g_origin_util = reg.register_gauge("origin.util_ewma");
+      shard->g_origin_depth = reg.register_gauge("origin.depth_ewma");
+      shard->g_origin_slowdown = reg.register_gauge("origin.slowdown_ewma");
+    }
 
     const Trace& part = parts[s];
     if (part.empty()) {
       // No users here; the origin link still serves remote-homed items.
+      // Its telemetry plane seals with just the origin gauges (no runtime
+      // registers anything further); barrier sampling still records rows.
+      if (shard->telemetry != nullptr) shard->telemetry->seal();
       if (warmup_records > 0) {
         OriginLink* origin = shard->origin.get();
         shard->sim.schedule_at(warmup_time,
@@ -140,6 +168,7 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
     rt.use_legacy_caches = config.stack.use_legacy_caches;
     rt.enable_load_sensor = config.stack.enable_load_sensor;
     rt.sensor = config.stack.sensor;
+    rt.telemetry = shard->telemetry;  // runtime registers its set and seals
     if (!config.stack.governor.empty()) {
       // One governor per shard: governors carry control state, so shards
       // cannot share an instance (same reason policies are per-shard).
@@ -236,6 +265,8 @@ void ShardedSim::exchange_mailboxes() {
     OriginLink* origin = d.origin.get();
     for (std::size_t src = 0; src < S; ++src) {
       std::vector<RemoteFetch>& row = shards_[src]->outbox.row(dst);
+      shards_[src]->mailbox_sent += row.size();
+      d.mailbox_received += row.size();
       for (const RemoteFetch& f : row) {
         ++cross_shard_events_;
         d.sim.schedule_at(f.send_time + latency,
@@ -261,6 +292,23 @@ void ShardedSim::exchange_setpoints() {
   const double fleet = sum / static_cast<double>(governed);
   for (const auto& shard : shards_) {
     if (shard->governor) shard->governor->set_fleet_signal(fleet);
+  }
+}
+
+void ShardedSim::sample_telemetry(double now) {
+  if (config_.telemetry == nullptr) return;
+  // Driver thread, canonical shard order. Every event a shard executed
+  // this epoch is <= now, and mailbox deliveries land >= now, so the
+  // forced barrier row keeps each recorder's timestamps monotone.
+  for (auto& shard : shards_) {
+    TelemetryRegistry& reg = shard->telemetry->registry();
+    reg.set_gauge(shard->g_origin_queue,
+                  static_cast<double>(shard->origin->active_jobs()));
+    const LoadSignals& sig = shard->origin->load_signals();
+    reg.set_gauge(shard->g_origin_util, sig.utilization);
+    reg.set_gauge(shard->g_origin_depth, sig.queue_depth);
+    reg.set_gauge(shard->g_origin_slowdown, sig.slowdown);
+    shard->telemetry->sample_now(now);
   }
 }
 
@@ -291,6 +339,7 @@ ShardedReplayResult ShardedSim::run() {
     ++epochs_;
     exchange_mailboxes();
     exchange_setpoints();
+    sample_telemetry(t_min + lookahead);
     if constexpr (kAuditBuild) {
       // Epoch-barrier sweep, sampled at power-of-two epochs so the audit
       // cost stays logarithmic in run length; every shard's whole slice
@@ -315,8 +364,11 @@ ShardedReplayResult ShardedSim::run() {
   horizons.reserve(shards_.size());
   backbones.reserve(shards_.size());
   out.per_shard.reserve(shards_.size());
+  out.shard_load.reserve(shards_.size());
   for (const auto& shard : shards_) {
     backbones.push_back(shard->backbone_horizon);
+    out.shard_load.push_back({shard->sim.events_executed(),
+                              shard->mailbox_sent, shard->mailbox_received});
     if (!shard->runtime) {  // userless shard: origin accounting only
       out.per_shard.emplace_back();
       out.per_shard.back().policy = policy_name_;
@@ -340,9 +392,10 @@ void ShardedSim::audit_fleet() const {
   for (const auto& shard : shards_) {
     const AuditScope scope(report, "shard " + std::to_string(shard->id));
     if (shard->runtime) {
-      shard->runtime->audit(report);  // includes the shard's engine slab
+      shard->runtime->audit(report);  // includes engine slab + telemetry
     } else {
       shard->sim.audit(report);  // userless shard: engine only
+      if (shard->telemetry != nullptr) shard->telemetry->audit(report);
     }
   }
   report.require();

@@ -53,8 +53,24 @@ struct ShardedReplayConfig {
   double backbone_latency = 0.05;
   /// Bandwidth of each region's origin uplink.
   double backbone_bandwidth = 1000.0;
+  /// Per-shard telemetry (borrowed; must outlive the run; size must equal
+  /// num_shards). Shard s records into plane s between barriers; the
+  /// driver adds origin-uplink gauges and forces a sample row at every
+  /// epoch barrier. Pure observation — results are bit-identical with
+  /// this null or installed. `stack.telemetry` must stay null here: one
+  /// plane cannot serve S independent engines.
+  class TelemetryFleet* telemetry = nullptr;
 
   void validate() const;
+};
+
+/// Per-shard load/traffic breakdown (whole run, not just the measurement
+/// window): where the events ran and which shards the mailbox traffic
+/// actually moved between — the skew view `--per-shard-stats` prints.
+struct ShardLoadStats {
+  std::uint64_t events_executed = 0;  ///< engine events this shard ran
+  std::uint64_t mailbox_sent = 0;     ///< remote fetches this shard emitted
+  std::uint64_t mailbox_received = 0; ///< remote fetches homed here
 };
 
 struct ShardedReplayResult {
@@ -64,6 +80,8 @@ struct ShardedReplayResult {
   BackboneStats backbone;
   /// Per-shard results, index = shard id.
   std::vector<ProxySimResult> per_shard;
+  /// Per-shard event counts and mailbox volumes, index = shard id.
+  std::vector<ShardLoadStats> shard_load;
   std::size_t num_shards = 1;
   std::uint64_t epochs = 0;
   std::uint64_t cross_shard_events = 0;
@@ -112,6 +130,10 @@ class ShardedSim {
   void exchange_setpoints();
   /// Earliest pending event across the fleet (+inf when drained).
   double fleet_next_event_time();
+  /// Telemetry barrier step: refreshes every shard's origin-uplink gauges
+  /// and forces a sample row at the epoch boundary (driver thread,
+  /// canonical order). No-op when the run carries no telemetry fleet.
+  void sample_telemetry(double now);
   /// SPECPF_AUDIT epoch-barrier sweep: audits every shard's engine slab and
   /// stack slice on the driver thread, throwing ContractViolation (with the
   /// failing shard named) on the first corrupt structure. Sampled at

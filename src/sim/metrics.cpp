@@ -8,6 +8,7 @@ void SimMetrics::record_access(double access_time, bool hit) {
   ++requests_;
   if (hit) ++hits_;
   access_times_.add(access_time);
+  access_hist_.add(access_time);
 }
 
 void SimMetrics::record_demand_retrieval(double sojourn) {
@@ -36,6 +37,7 @@ double SimMetrics::retrievals_per_request() const {
 
 void SimMetrics::merge(const SimMetrics& other) {
   access_times_.merge(other.access_times_);
+  access_hist_.merge(other.access_hist_);
   demand_sojourns_.merge(other.demand_sojourns_);
   prefetch_sojourns_.merge(other.prefetch_sojourns_);
   inflight_waits_.merge(other.inflight_waits_);
@@ -46,6 +48,7 @@ void SimMetrics::merge(const SimMetrics& other) {
 
 void SimMetrics::reset() {
   access_times_.reset();
+  access_hist_ = LogHistogram(-30, 20);
   demand_sojourns_.reset();
   prefetch_sojourns_.reset();
   inflight_waits_.reset();

@@ -42,6 +42,14 @@ class SimMetrics {
   double mean_access_time() const { return access_times_.mean(); }
   const RunningStats& access_time_stats() const { return access_times_; }
 
+  /// Access-time quantile (p in [0,1]) from a log2-binned histogram of the
+  /// same samples the mean sees. Instant cache hits land in the lowest bin,
+  /// so p50 of a mostly-hit run reads as ~1e-9 s — effectively zero.
+  double access_time_quantile(double p) const {
+    return access_hist_.quantile(p);
+  }
+  const LogHistogram& access_time_histogram() const { return access_hist_; }
+
   /// Mean retrieval time per *user request*: (Σ all sojourns)/requests —
   /// the R of paper eq. (25).
   double retrieval_time_per_request() const;
@@ -70,6 +78,10 @@ class SimMetrics {
   void record_access(double access_time, bool hit);
 
   RunningStats access_times_;
+  /// Log2 bins from ~1 ns to ~12 days: covers instant hits (lowest bin)
+  /// through any plausible congested sojourn. Bin counts merge exactly, so
+  /// quantiles of merged shard metrics are bit-deterministic like the rest.
+  LogHistogram access_hist_{-30, 20};
   RunningStats demand_sojourns_;
   RunningStats prefetch_sojourns_;
   RunningStats inflight_waits_;

@@ -62,6 +62,7 @@ ProxySimResult run_proxy_sim(const ProxySimConfig& config,
       static_cast<double>(config.num_users) * session_len / cycle;
   runtime_config.use_tree_inflight = config.use_tree_inflight;
   runtime_config.use_legacy_caches = config.use_legacy_caches;
+  runtime_config.telemetry = config.telemetry;
 
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, std::move(runtime_config));

@@ -68,6 +68,11 @@ struct ProxySimConfig {
   /// perf_stack baseline; the plane is the default).
   bool use_legacy_predictors = false;
 
+  /// Telemetry plane to record into (borrowed; must outlive the run). Pure
+  /// observation under the LinkLoadSensor contract: results are
+  /// bit-identical with this null or installed. Null = telemetry off.
+  class TelemetryPlane* telemetry = nullptr;
+
   void validate() const;
 };
 
@@ -75,6 +80,11 @@ struct ProxySimResult {
   std::string policy;
   double mean_access_time = 0.0;
   double access_time_std_error = 0.0;
+  /// Access-time distribution tails (log2-bin interpolated; ~1e-9 means
+  /// "instant cache hit" — see SimMetrics::access_time_quantile).
+  double access_time_p50 = 0.0;
+  double access_time_p95 = 0.0;
+  double access_time_p99 = 0.0;
   double hit_ratio = 0.0;
   double server_utilization = 0.0;
   double retrieval_time_per_request = 0.0;

@@ -23,7 +23,8 @@ StackRuntime::StackRuntime(Simulator& sim, PredictorPlane& predictor,
       pending_prefetches_(config_.num_users),
       sensor_(config_.sensor),
       sense_(config_.enable_load_sensor || config_.governor != nullptr),
-      measuring_(false) {
+      measuring_(false),
+      telemetry_(config_.telemetry) {
   SPECPF_EXPECTS(config_.num_users >= 1);
   SPECPF_EXPECTS(config_.item_size > 0.0);
   SPECPF_EXPECTS(config_.cache_capacity >= 1);
@@ -34,9 +35,11 @@ StackRuntime::StackRuntime(Simulator& sim, PredictorPlane& predictor,
   caches_ = make_cache_plane(config_.cache_kind, plane_config,
                              config_.use_legacy_caches);
   caches_->set_eviction_observer([this](UserId, ItemId, EntryTag tag) {
+    --cache_residents_;
     if (tag == EntryTag::kUntagged) {
       ++wasted_evictions_;
       if (measuring_) metrics_.record_wasted_prefetch();
+      if (telemetry_) telemetry_->registry().add(tele_.wasted_evictions);
       // Waste feedback is dynamics, not just metrics: the governor learns
       // from warmup evictions too.
       if (config_.governor) config_.governor->on_prefetch_wasted();
@@ -45,6 +48,59 @@ StackRuntime::StackRuntime(Simulator& sim, PredictorPlane& predictor,
   for (std::size_t u = 0; u < config_.num_users; ++u) {
     refresh_estimate(static_cast<UserId>(u));
   }
+  if (telemetry_) setup_telemetry();
+}
+
+void StackRuntime::setup_telemetry() {
+  TelemetryRegistry& reg = telemetry_->registry();
+  tele_.requests = reg.register_counter("req.count");
+  tele_.hits = reg.register_counter("req.hit");
+  tele_.misses = reg.register_counter("req.miss");
+  tele_.inflight_attaches = reg.register_counter("req.inflight_attach");
+  tele_.demand_fetches = reg.register_counter("fetch.demand");
+  tele_.prefetch_fetches = reg.register_counter("fetch.prefetch");
+  tele_.prefetch_deferred = reg.register_counter("pf.deferred");
+  tele_.prefetch_throttled = reg.register_counter("pf.throttled");
+  tele_.wasted_evictions = reg.register_counter("cache.wasted_evictions");
+  tele_.link_queue = reg.register_gauge("link.queue_depth");
+  tele_.link_util = reg.register_gauge("link.util_ewma");
+  tele_.link_depth_ewma = reg.register_gauge("link.depth_ewma");
+  tele_.link_slowdown = reg.register_gauge("link.slowdown_ewma");
+  tele_.gov_state = reg.register_gauge("gov.state");
+  tele_.gov_depth_limit = reg.register_gauge("gov.depth_limit");
+  tele_.inflight_demand = reg.register_gauge("inflight.demand");
+  tele_.inflight_prefetch = reg.register_gauge("inflight.prefetch");
+  tele_.cache_residents = reg.register_gauge("cache.residents");
+  tele_.pred_contexts = reg.register_gauge("pred.contexts");
+  tele_.pred_halvings = reg.register_gauge("pred.halvings");
+  // Gauge refresh runs only at sample instants (cold relative to the
+  // request path) and reads state the runtime already maintains — no
+  // fleet-wide walks, no mutation, no allocation.
+  telemetry_->set_gauge_source([this](TelemetryRegistry& r) {
+    r.set_gauge(tele_.link_queue,
+                static_cast<double>(server_.active_jobs()));
+    const LoadSignals& s = sensor_.signals();
+    r.set_gauge(tele_.link_util, s.utilization);
+    r.set_gauge(tele_.link_depth_ewma, s.queue_depth);
+    r.set_gauge(tele_.link_slowdown, s.slowdown);
+    if (config_.governor != nullptr) {
+      r.set_gauge(tele_.gov_state, config_.governor->state_gauge());
+      r.set_gauge(tele_.gov_depth_limit,
+                  static_cast<double>(config_.governor->depth_limit(
+                      config_.max_prefetch_per_request)));
+    }
+    r.set_gauge(tele_.inflight_demand,
+                static_cast<double>(inflight_demand_total_));
+    r.set_gauge(tele_.inflight_prefetch,
+                static_cast<double>(inflight_prefetch_total_));
+    r.set_gauge(tele_.cache_residents,
+                static_cast<double>(cache_residents_));
+    r.set_gauge(tele_.pred_contexts,
+                static_cast<double>(predictor_.context_count()));
+    r.set_gauge(tele_.pred_halvings,
+                static_cast<double>(predictor_.counter_halvings()));
+  });
+  telemetry_->seal();
 }
 
 void StackRuntime::refresh_estimate(UserId user) {
@@ -99,8 +155,22 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
   if (config_.retrieval_observer) {
     config_.retrieval_observer(user, item, is_prefetch);
   }
-  inflight_.get_or_insert(inflight_key(user, item)).is_prefetch = is_prefetch;
+  Inflight& entry = inflight_.get_or_insert(inflight_key(user, item));
+  entry.is_prefetch = is_prefetch;
   if (!is_prefetch) ++demand_inflight_[user];
+  if (is_prefetch) {
+    ++inflight_prefetch_total_;
+  } else {
+    ++inflight_demand_total_;
+  }
+  if (telemetry_) {
+    telemetry_->registry().add(is_prefetch ? tele_.prefetch_fetches
+                                           : tele_.demand_fetches);
+    entry.span = telemetry_->spans().open(
+        is_prefetch ? SpanTracer::SpanKind::kPrefetchFetch
+                    : SpanTracer::SpanKind::kDemandFetch,
+        sim_.now(), user, item);
+  }
   server_.submit(config_.item_size, [this, user, item,
                                      is_prefetch](const TransferResult& r) {
     if (sense_) {
@@ -121,6 +191,11 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
     }
     const Inflight info = inflight_.take(inflight_key(user, item));
     if (is_prefetch) {
+      --inflight_prefetch_total_;
+    } else {
+      --inflight_demand_total_;
+    }
+    if (is_prefetch) {
       if (info.waiter_times.empty() && !info.demand_promoted) {
         caches_->admit_prefetch(user, item);
       } else {
@@ -129,6 +204,7 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
     } else {
       caches_->admit_demand(user, item);
     }
+    ++cache_residents_;
     refresh_estimate(user);
     if (measuring_) {
       for (double t0 : info.waiter_times) {
@@ -138,6 +214,21 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
           metrics_.record_miss(sim_.now() - t0);
         }
       }
+    }
+    if (telemetry_) {
+      SpanTracer& spans = telemetry_->spans();
+      spans.close(info.span, sim_.now());
+      // Waits are reconstructed here from their recorded start instants
+      // (waiter_times only accumulates inside the measurement window, so
+      // wait spans cover the measured run, like the wait metrics).
+      for (double t0 : info.waiter_times) {
+        spans.complete(is_prefetch ? SpanTracer::SpanKind::kInflightWait
+                                   : SpanTracer::SpanKind::kDemandWait,
+                       t0, sim_.now(), user, item);
+      }
+      // Completions also advance the sampling clock: the drain tail after
+      // the last request still produces queue-depth samples.
+      telemetry_->maybe_sample(sim_.now());
     }
     // A prefetch that a demand miss attached to holds the link like a
     // demand fetch (the user is blocked on it).
@@ -153,19 +244,30 @@ void StackRuntime::submit_retrieval(UserId user, ItemId item,
 void StackRuntime::handle_request(UserId user, ItemId item) {
   SPECPF_EXPECTS(user < config_.num_users);
   ++total_requests_;
+  if (telemetry_) {
+    telemetry_->registry().add(tele_.requests);
+    // The sampling clock piggybacks on instants the runtime already
+    // visits — never its own events — so the cadence is "the first
+    // arrival/completion at-or-after each interval boundary".
+    telemetry_->maybe_sample(sim_.now());
+  }
   switch (caches_->access(user, item)) {
     case AccessOutcome::kHitTagged:
       if (measuring_) metrics_.record_hit();
+      if (telemetry_) telemetry_->registry().add(tele_.hits);
       break;
     case AccessOutcome::kHitUntagged:
       // First touch of a landed prefetch — the precision signal the
       // confidence governor learns from.
       if (config_.governor) config_.governor->on_prefetch_useful();
       if (measuring_) metrics_.record_hit();
+      if (telemetry_) telemetry_->registry().add(tele_.hits);
       break;
     case AccessOutcome::kMiss: {
+      if (telemetry_) telemetry_->registry().add(tele_.misses);
       if (Inflight* fl = inflight_.find(inflight_key(user, item))) {
         if (measuring_) fl->waiter_times.push_back(sim_.now());
+        if (telemetry_) telemetry_->registry().add(tele_.inflight_attaches);
         if (fl->is_prefetch && !fl->demand_promoted &&
             config_.governor) {
           // The demand stream caught up with a live prefetch: useful.
@@ -227,12 +329,14 @@ void StackRuntime::handle_request(UserId user, ItemId item) {
           !governor->admit(sim_.now(), user, c, config_.item_size,
                            sensor_.signals())) {
         ++throttled_prefetches_;
+        if (telemetry_) telemetry_->registry().add(tele_.prefetch_throttled);
         continue;
       }
     }
     ++admitted;
     if (demand_inflight_[user] > 0) {
       pending_prefetches_[user].push_back(c.item);
+      if (telemetry_) telemetry_->registry().add(tele_.prefetch_deferred);
     } else {
       submit_retrieval(user, c.item, /*is_prefetch=*/true);
     }
@@ -263,6 +367,9 @@ ProxySimResult assemble_stack_result(const SimMetrics& metrics,
   out.policy = std::move(policy_name);
   out.mean_access_time = metrics.mean_access_time();
   out.access_time_std_error = metrics.access_time_stats().std_error();
+  out.access_time_p50 = metrics.access_time_quantile(0.50);
+  out.access_time_p95 = metrics.access_time_quantile(0.95);
+  out.access_time_p99 = metrics.access_time_quantile(0.99);
   out.hit_ratio = metrics.hit_ratio();
   out.server_utilization = horizon_stats.utilization;
   out.retrieval_time_per_request = metrics.retrieval_time_per_request();
@@ -348,11 +455,39 @@ void StackRuntime::audit(AuditReport& report) const {
                "running h' sum drifted " +
                    std::to_string(std::abs(estimate_sum_ - exact_sum)) +
                    " from the exact sum");
+  // Telemetry occupancy counters: rederive the maintained O(1) gauges from
+  // the structures they summarize.
+  std::uint64_t derived_prefetch = 0;
+  std::uint64_t derived_demand_total = 0;
+  inflight_.for_each([&](std::uint64_t, const Inflight& fl) {
+    if (fl.is_prefetch) {
+      ++derived_prefetch;
+    } else {
+      ++derived_demand_total;
+    }
+  });
+  report.check(inflight_demand_total_ == derived_demand_total,
+               "inflight_demand_total_ says " +
+                   std::to_string(inflight_demand_total_) + " but the index holds " +
+                   std::to_string(derived_demand_total));
+  report.check(inflight_prefetch_total_ == derived_prefetch,
+               "inflight_prefetch_total_ says " +
+                   std::to_string(inflight_prefetch_total_) +
+                   " but the index holds " + std::to_string(derived_prefetch));
+  std::uint64_t derived_residents = 0;
+  for (std::uint32_t u = 0; u < config_.num_users; ++u) {
+    derived_residents += caches_->size(u);
+  }
+  report.check(cache_residents_ == derived_residents,
+               "cache_residents_ says " + std::to_string(cache_residents_) +
+                   " but the fleet holds " +
+                   std::to_string(derived_residents) + " entries");
   // Structural sweeps of the planes and the engine this slice runs on.
   inflight_.audit(report);
   caches_->audit(report);
   predictor_.audit(report);
   sim_.audit(report);
+  if (telemetry_ != nullptr) telemetry_->audit(report);
 }
 
 }  // namespace specpf

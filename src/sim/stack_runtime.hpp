@@ -20,6 +20,7 @@
 #include "des/inline_function.hpp"
 #include "des/simulator.hpp"
 #include "net/ps_server.hpp"
+#include "obs/telemetry.hpp"
 #include "policy/policy.hpp"
 #include "predict/predictor_plane.hpp"
 #include "sim/metrics.hpp"
@@ -67,6 +68,15 @@ struct StackRuntimeConfig {
   /// metrics governed runs do). Always on when a governor is installed.
   bool enable_load_sensor = false;
   LoadSensorConfig sensor;
+  /// Telemetry plane to record into (borrowed; must outlive the runtime).
+  /// The runtime registers its counters/gauges, installs the gauge-refresh
+  /// source, and seals the plane at construction — so register any extra
+  /// gauges (e.g. the sharded driver's origin-link set) *before* building
+  /// the runtime. Same purity contract as the load sensor: hooks observe
+  /// at event instants the runtime already visits, draw no randomness, and
+  /// schedule nothing, so results are bit-identical with this null or
+  /// installed. Null = telemetry off (one dead branch per hook site).
+  TelemetryPlane* telemetry = nullptr;
 };
 
 /// Cache-derived aggregates a frontend needs to assemble a ProxySimResult.
@@ -164,6 +174,9 @@ class StackRuntime {
     /// user is blocked on it, so it holds the link like a demand fetch and
     /// defers further prefetch dispatch until it lands.
     bool demand_promoted = false;
+    /// Link-transit span opened at submission (null when telemetry is off
+    /// or the span ring is disabled); closed at completion.
+    SpanTracer::SpanRef span;
     std::vector<double> waiter_times;
   };
 
@@ -228,6 +241,9 @@ class StackRuntime {
   PolicyContext current_context() const;
   void submit_retrieval(UserId user, ItemId item, bool is_prefetch);
   void flush_pending_prefetches(UserId user);
+  /// Registers this runtime's counters/gauges on the telemetry plane,
+  /// installs the gauge source, and seals it (constructor only).
+  void setup_telemetry();
   /// Refreshes the cached ĥ' contribution of `user` after a cache mutation.
   /// Keeps current_context() O(1) instead of O(num_users) per request —
   /// the difference between a million-user sweep finishing and not.
@@ -261,6 +277,40 @@ class StackRuntime {
   std::uint64_t wasted_evictions_ = 0;
   std::uint64_t throttled_prefetches_ = 0;
   bool measuring_ = true;
+
+  /// Borrowed telemetry plane (null = off); cached from config_ so every
+  /// hook is one pointer test.
+  TelemetryPlane* telemetry_ = nullptr;
+  /// Incrementally maintained occupancy the telemetry gauges read in O(1)
+  /// (kept unconditionally — three integer adds per retrieval — and
+  /// cross-checked against a from-scratch rederivation in audit()).
+  std::uint64_t cache_residents_ = 0;
+  std::uint64_t inflight_demand_total_ = 0;
+  std::uint64_t inflight_prefetch_total_ = 0;
+  /// Telemetry slot ids (valid only when telemetry_ != nullptr).
+  struct TelemetryIds {
+    TelemetryRegistry::CounterId requests = 0;
+    TelemetryRegistry::CounterId hits = 0;
+    TelemetryRegistry::CounterId misses = 0;
+    TelemetryRegistry::CounterId inflight_attaches = 0;
+    TelemetryRegistry::CounterId demand_fetches = 0;
+    TelemetryRegistry::CounterId prefetch_fetches = 0;
+    TelemetryRegistry::CounterId prefetch_deferred = 0;
+    TelemetryRegistry::CounterId prefetch_throttled = 0;
+    TelemetryRegistry::CounterId wasted_evictions = 0;
+    TelemetryRegistry::GaugeId link_queue = 0;
+    TelemetryRegistry::GaugeId link_util = 0;
+    TelemetryRegistry::GaugeId link_depth_ewma = 0;
+    TelemetryRegistry::GaugeId link_slowdown = 0;
+    TelemetryRegistry::GaugeId gov_state = 0;
+    TelemetryRegistry::GaugeId gov_depth_limit = 0;
+    TelemetryRegistry::GaugeId inflight_demand = 0;
+    TelemetryRegistry::GaugeId inflight_prefetch = 0;
+    TelemetryRegistry::GaugeId cache_residents = 0;
+    TelemetryRegistry::GaugeId pred_contexts = 0;
+    TelemetryRegistry::GaugeId pred_halvings = 0;
+  };
+  TelemetryIds tele_;
 };
 
 }  // namespace specpf

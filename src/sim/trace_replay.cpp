@@ -60,6 +60,7 @@ ProxySimResult run_trace_replay(const Trace& trace,
   runtime_config.use_legacy_caches = config.use_legacy_caches;
   runtime_config.enable_load_sensor = config.enable_load_sensor;
   runtime_config.sensor = config.sensor;
+  runtime_config.telemetry = config.telemetry;
   std::unique_ptr<PrefetchGovernor> governor;
   if (!config.governor.empty()) {
     governor = make_governor_by_name(config.governor, config.governor_config);

@@ -67,6 +67,13 @@ struct TraceReplayConfig {
   bool enable_load_sensor = false;
   LoadSensorConfig sensor;
 
+  /// Telemetry plane to record into (borrowed; must outlive the run).
+  /// Pure observation: results are bit-identical with this null or
+  /// installed. The *sharded* driver takes a TelemetryFleet through its
+  /// own config instead and requires this to stay null (one plane cannot
+  /// serve S independent engines).
+  class TelemetryPlane* telemetry = nullptr;
+
   void validate() const;
 };
 

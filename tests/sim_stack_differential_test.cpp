@@ -7,6 +7,7 @@
 // container layout; any divergence means behaviour changed, not just speed.
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.hpp"
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
 #include "sim/proxy_sim.hpp"
@@ -34,6 +35,9 @@ void expect_identical(const ProxySimResult& flat, const ProxySimResult& tree) {
                    tree.prefetch_useful_fraction);
   EXPECT_DOUBLE_EQ(flat.mean_inflight_wait, tree.mean_inflight_wait);
   EXPECT_DOUBLE_EQ(flat.mean_demand_sojourn, tree.mean_demand_sojourn);
+  EXPECT_DOUBLE_EQ(flat.access_time_p50, tree.access_time_p50);
+  EXPECT_DOUBLE_EQ(flat.access_time_p95, tree.access_time_p95);
+  EXPECT_DOUBLE_EQ(flat.access_time_p99, tree.access_time_p99);
 }
 
 TEST(StackDifferential, FlatMatchesTreeAcrossPredictorsAndCacheKinds) {
@@ -303,6 +307,117 @@ TEST(StackDifferential, ShardedReplayPredictorPlaneMatchesLegacy) {
     EXPECT_EQ(plane.backbone.jobs(), legacy.backbone.jobs());
     EXPECT_GT(plane.merged.requests, 0u);
   }
+}
+
+// --- telemetry on vs off: observation must be bit-identical -----------------
+
+TEST(StackDifferential, ProxySimTelemetryOnMatchesOff) {
+  ProxySimConfig cfg;
+  cfg.num_users = 4;
+  cfg.bandwidth = 30.0;
+  cfg.graph.num_pages = 60;
+  cfg.graph.out_degree = 3;
+  cfg.graph.exit_probability = 0.2;
+  cfg.cache_capacity = 12;
+  cfg.duration = 120.0;
+  cfg.warmup = 20.0;
+  cfg.seed = 9;
+
+  ThresholdPolicy off_policy(core::InteractionModel::kModelA);
+  const ProxySimResult off = run_proxy_sim(cfg, off_policy);
+
+  TelemetryPlane plane;
+  cfg.telemetry = &plane;
+  ThresholdPolicy on_policy(core::InteractionModel::kModelA);
+  const ProxySimResult on = run_proxy_sim(cfg, on_policy);
+
+  expect_identical(on, off);
+  EXPECT_GT(on.requests, 0u);
+  // Telemetry actually recorded: rows sampled, spans opened and closed.
+  EXPECT_GT(plane.series().size(), 0u);
+  EXPECT_GT(plane.spans().opens(), 0u);
+  EXPECT_GT(plane.spans().closes(), 0u);
+  EXPECT_GT(plane.registry().counter(0), 0u);  // "req.count"
+}
+
+TEST(StackDifferential, TraceReplayTelemetryOnMatchesOff) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  TraceReplayConfig cfg;
+  cfg.bandwidth = 60.0;
+  cfg.cache_capacity = 8;
+  cfg.governor = "token-50";  // governed leg: gauges cover the governor too
+
+  ThresholdPolicy off_policy(core::InteractionModel::kModelA);
+  const ProxySimResult off = run_trace_replay(trace, cfg, off_policy);
+
+  TelemetryPlane plane;
+  cfg.telemetry = &plane;
+  ThresholdPolicy on_policy(core::InteractionModel::kModelA);
+  const ProxySimResult on = run_trace_replay(trace, cfg, on_policy);
+
+  expect_identical(on, off);
+  EXPECT_GT(on.requests, 0u);
+  EXPECT_GT(plane.series().size(), 0u);
+  EXPECT_GT(plane.spans().opens(), 0u);
+
+  AuditReport report;
+  plane.audit(report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(StackDifferential, ShardedReplayTelemetryOnMatchesOff) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 300;
+  trace_cfg.num_requests = 3000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 33;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  ShardedReplayConfig cfg;
+  cfg.stack.bandwidth = 60.0;
+  cfg.stack.cache_capacity = 8;
+  cfg.num_shards = 3;
+  cfg.num_threads = 1;
+  const PolicyFactory factory = [] {
+    return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+  };
+
+  const ShardedReplayResult off = run_sharded_replay(trace, cfg, factory);
+
+  TelemetryFleet fleet(TelemetryConfig{}, 3);
+  cfg.telemetry = &fleet;
+  const ShardedReplayResult on = run_sharded_replay(trace, cfg, factory);
+
+  expect_identical(on.merged, off.merged);
+  EXPECT_EQ(on.cross_shard_events, off.cross_shard_events);
+  EXPECT_EQ(on.backbone.jobs(), off.backbone.jobs());
+  EXPECT_GT(on.merged.requests, 0u);
+  // Every shard sampled at the epoch barriers; the merged registry carries
+  // both the runtime's and the driver's origin-uplink instruments.
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_GT(fleet.shard(s).series().size(), 0u) << "shard " << s;
+  }
+  AuditReport report;
+  fleet.audit(report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Per-shard load stats reconcile with the fleet totals.
+  ASSERT_EQ(on.shard_load.size(), 3u);
+  std::uint64_t sent = 0, received = 0;
+  for (const auto& load : on.shard_load) {
+    EXPECT_GT(load.events_executed, 0u);
+    sent += load.mailbox_sent;
+    received += load.mailbox_received;
+  }
+  EXPECT_EQ(sent, on.cross_shard_events);
+  EXPECT_EQ(received, on.cross_shard_events);
 }
 
 TEST(StackDifferential, TraceReplayFlatMatchesTree) {

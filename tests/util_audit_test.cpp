@@ -21,6 +21,7 @@
 #include "cache/cache_plane.hpp"
 #include "cache/factory.hpp"
 #include "des/simulator.hpp"
+#include "obs/telemetry.hpp"
 #include "policy/policies.hpp"
 #include "predict/context_arena.hpp"
 #include "predict/factory.hpp"
@@ -115,6 +116,19 @@ struct AuditPeer {
   }
   static void drift_estimate_sum(StackRuntime& rt) {
     rt.estimate_sum_ += 0.5;
+  }
+
+  // --- telemetry plane ----------------------------------------------------
+  static void reverse_recorder_timestamps(TimeSeriesRecorder& r) {
+    // A row stamped before its predecessor: the signature of a sample taken
+    // outside the engine's time order.
+    r.times_[1] = r.times_[0] - 1.0;
+  }
+  static void unbalance_span_counters(SpanTracer& t) {
+    ++t.closes_;  // closes no longer reconcile with opens/overwrites
+  }
+  static void desync_registry_names(TelemetryRegistry& r) {
+    r.counter_names_.pop_back();  // slot with no name
   }
 };
 
@@ -474,6 +488,54 @@ TEST(AuditInjection, StackRuntimeEstimateSumDrift) {
   AuditReport report;
   runtime.audit(report);
   expect_failure_containing(report, "drifted");
+}
+
+TEST(AuditInjection, TelemetryRecorderTimestampReversal) {
+  TimeSeriesRecorder rec;
+  rec.configure(/*num_gauges=*/2, /*capacity=*/16, /*interval=*/0.5);
+  const std::vector<double> row = {1.0, 2.0};
+  for (int i = 0; i < 6; ++i) rec.record(0.5 * i, row);
+  AuditReport clean;
+  rec.audit(clean);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  AuditPeer::reverse_recorder_timestamps(rec);
+  AuditReport report;
+  rec.audit(report);
+  expect_failure_containing(report, "monotone");
+}
+
+TEST(AuditInjection, TelemetrySpanBalanceBroken) {
+  SpanTracer spans;
+  spans.configure(8);
+  for (int i = 0; i < 5; ++i) {
+    const auto ref = spans.open(SpanTracer::SpanKind::kDemandFetch,
+                                0.1 * i, /*user=*/1, /*item=*/i);
+    spans.close(ref, 0.1 * i + 0.05);
+  }
+  AuditReport clean;
+  spans.audit(clean);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  AuditPeer::unbalance_span_counters(spans);
+  AuditReport report;
+  spans.audit(report);
+  expect_failure_containing(report, "span balance");
+}
+
+TEST(AuditInjection, TelemetryRegistryNameSlotDesync) {
+  TelemetryRegistry reg;
+  reg.register_counter("req.count");
+  reg.register_counter("req.hit");
+  reg.register_gauge("link.queue_depth");
+  AuditReport clean;
+  reg.audit(clean);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  AuditPeer::desync_registry_names(reg);
+  AuditReport report;
+  reg.audit(report);
+  expect_failure_containing(report, "desynced");
 }
 
 // ---------------------------------------------------------------------------
