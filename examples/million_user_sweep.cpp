@@ -1,9 +1,21 @@
-// Million-user trace sweep: generates a ≥1M-user synthetic session trace,
-// bulk-schedules the whole thing into the engine's O(1)-pop sorted tier,
-// and drives the full flat-hash data plane (per-user tagged caches,
-// in-flight bookkeeping, learned predictor, threshold policy) end-to-end —
-// the paper's network-load question at the population scale where
-// prefetcher metadata efficiency dominates.
+// Million-user trace sweep: drives the full data plane (per-user tagged
+// caches, in-flight bookkeeping, learned predictor, threshold policy)
+// end-to-end against a large request trace — the paper's network-load
+// question at the population scale where prefetcher metadata efficiency
+// dominates.
+//
+// The request supply is pluggable (workload/trace_stream.hpp):
+//   default          generate the synthetic trace in RAM (24 B/record)
+//   --stream         stream the generator straight into the replay — no
+//                    materialized trace, RSS bounded at any --requests
+//   --trace-file F   replay a binary .spt trace through the mmap'd
+//                    zero-copy cursor (workload/trace_file.hpp)
+//   --from-csv F     load a CSV trace into RAM
+//   --in-ram         with --trace-file: decode to RAM first (the paired
+//                    baseline for streamed-vs-in-RAM comparisons)
+// and the selected source can be converted instead of replayed:
+//   --convert OUT.spt   write it as a binary trace and exit
+//   --save-csv OUT.csv  write it as CSV and exit (both flags compose)
 //
 // With --shards > 1 the population is split across a sharded fleet
 // (shard/sharded_sim.hpp): one engine per shard, conservative epoch
@@ -12,6 +24,9 @@
 //
 //   ./million_user_sweep --users 1000000 --requests 3000000
 //   ./million_user_sweep --shards 8 --threads 8 --policy threshold-a
+//   ./million_user_sweep --requests 100000000 --stream       # out-of-core
+//   ./million_user_sweep --convert big.spt --stream --requests 100000000
+//   ./million_user_sweep --trace-file big.spt --shards 4
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -28,6 +43,7 @@
 #include "util/mem.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic_trace.hpp"
+#include "workload/trace_file.hpp"
 
 namespace {
 
@@ -52,6 +68,21 @@ std::string suffixed_path(const std::string& base, const std::string& token) {
     return base + "-" + token;
   }
   return base.substr(0, dot) + "-" + token + base.substr(dot);
+}
+
+/// Streams `source` to CSV with round-trip-exact timestamp precision,
+/// without materializing a Trace.
+bool save_csv_streaming(const std::string& path, TraceSource& source) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "time,user,item\n");
+  source.reset();
+  TraceRecord r;
+  while (source.next(&r)) {
+    std::fprintf(f, "%.17g,%u,%llu\n", r.time, r.user,
+                 static_cast<unsigned long long>(r.item));
+  }
+  return std::fclose(f) == 0;
 }
 
 }  // namespace
@@ -97,6 +128,22 @@ int main(int argc, char** argv) {
                 "telemetry gauge sampling cadence (sim-seconds)");
   args.add_flag("per-shard-stats", "false",
                 "print the per-shard event/mailbox breakdown (sharded runs)");
+  args.add_flag("stream", "false",
+                "stream the synthetic generator straight into the replay "
+                "(no in-RAM trace; RSS stays bounded at any --requests)");
+  args.add_flag("trace-file", "",
+                "replay a binary .spt trace via the mmap'd cursor instead "
+                "of generating one");
+  args.add_flag("from-csv", "", "load the trace from a CSV file (in RAM)");
+  args.add_flag("in-ram", "false",
+                "with --trace-file: decode the whole file into RAM first "
+                "(baseline for streamed-vs-in-RAM comparisons)");
+  args.add_flag("convert", "",
+                "write the selected source to this .spt path and exit");
+  args.add_flag("save-csv", "",
+                "write the selected source to this CSV path and exit");
+  args.add_flag("stream-window", "65536",
+                "records scheduled per engine batch on streamed replays");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string trace_path = args.get_string("trace");
@@ -115,14 +162,91 @@ int main(int argc, char** argv) {
   trace_cfg.graph.link_skew = 1.6;
   trace_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
-  std::printf("generating %zu requests over %zu users...\n",
-              trace_cfg.num_requests, trace_cfg.num_users);
+  // ---- Request-supply selection -------------------------------------
+  // Exactly one of `ram` (in-RAM trace) or `stream` (bounded-RSS source)
+  // ends up non-null; `file` keeps the mmap alive for cursor replays.
+  std::unique_ptr<Trace> ram;
+  std::unique_ptr<TraceFile> file;
+  std::unique_ptr<TraceSource> stream;
+  std::uint64_t population = 0;  // unique users (B/user denominator)
+
+  const std::string file_path = args.get_string("trace-file");
+  const std::string csv_path = args.get_string("from-csv");
   auto t0 = Clock::now();
-  const Trace trace = generate_synthetic_trace(trace_cfg);
-  const double gen_secs = std::chrono::duration<double>(Clock::now() - t0).count();
-  std::printf("  %.1fs (%zu unique users, %zu unique items, %.0fs span)\n",
-              gen_secs, trace.unique_users(), trace.unique_items(),
-              trace.duration());
+  if (!file_path.empty()) {
+    file = std::make_unique<TraceFile>(file_path);
+    const TraceFileHeader& h = file->header();
+    population = h.unique_users;
+    std::printf(
+        "trace file %s: %llu records, %llu users, %llu items, %.0fs span, "
+        "%.2f B/record%s\n",
+        file_path.c_str(), static_cast<unsigned long long>(h.record_count),
+        static_cast<unsigned long long>(h.unique_users),
+        static_cast<unsigned long long>(h.unique_items), file->duration(),
+        file->bytes_per_record(),
+        args.get_bool("in-ram") ? " (decoding to RAM)" : "");
+    if (args.get_bool("in-ram")) {
+      ram = std::make_unique<Trace>(file->read_all());
+    } else {
+      stream = std::make_unique<TraceCursor>(*file);
+    }
+  } else if (!csv_path.empty()) {
+    ram = std::make_unique<Trace>(Trace::load_csv_file(csv_path));
+    population = ram->unique_users();
+    std::printf("CSV trace %s: %zu records, %zu users, %.0fs span\n",
+                csv_path.c_str(), ram->size(), ram->unique_users(),
+                ram->duration());
+  } else if (args.get_bool("stream")) {
+    stream = std::make_unique<SyntheticTraceStream>(trace_cfg);
+    population = trace_cfg.num_users;  // approx: configured, not appearing
+    std::printf("streaming generator: %zu requests over %zu users (never "
+                "materialized)\n",
+                trace_cfg.num_requests, trace_cfg.num_users);
+  } else {
+    std::printf("generating %zu requests over %zu users...\n",
+                trace_cfg.num_requests, trace_cfg.num_users);
+    ram = std::make_unique<Trace>(generate_synthetic_trace(trace_cfg));
+    population = ram->unique_users();
+    const double gen_secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("  %.1fs (%zu unique users, %zu unique items, %.0fs span)\n",
+                gen_secs, ram->unique_users(), ram->unique_items(),
+                ram->duration());
+  }
+
+  // ---- Conversion mode ----------------------------------------------
+  const std::string convert_path = args.get_string("convert");
+  const std::string save_csv_path = args.get_string("save-csv");
+  if (!convert_path.empty() || !save_csv_path.empty()) {
+    std::unique_ptr<TraceVectorSource> ram_source;
+    TraceSource* src = stream.get();
+    if (src == nullptr) {
+      ram_source = std::make_unique<TraceVectorSource>(*ram);
+      src = ram_source.get();
+    }
+    if (!convert_path.empty()) {
+      t0 = Clock::now();
+      const std::uint64_t n = write_trace_file(convert_path, *src);
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const TraceFile out(convert_path);
+      std::printf(
+          "wrote %s: %llu records in %.1fs (%.2f B/record, %llu chunks, "
+          "%.1f MB)\n",
+          convert_path.c_str(), static_cast<unsigned long long>(n), secs,
+          out.bytes_per_record(),
+          static_cast<unsigned long long>(out.header().chunk_count),
+          static_cast<double>(out.file_bytes()) / 1e6);
+    }
+    if (!save_csv_path.empty()) {
+      if (!save_csv_streaming(save_csv_path, *src)) {
+        std::fprintf(stderr, "cannot write CSV '%s'\n", save_csv_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", save_csv_path.c_str());
+    }
+    return 0;
+  }
 
   const auto shards = static_cast<std::size_t>(args.get_int("shards"));
   const auto threads = static_cast<std::size_t>(args.get_int("threads"));
@@ -136,6 +260,8 @@ int main(int argc, char** argv) {
   replay_cfg.use_legacy_caches = args.get_bool("legacy-caches");
   replay_cfg.use_legacy_predictors = args.get_bool("legacy-predictors");
   replay_cfg.governor = args.get_string("governor");
+  replay_cfg.stream_window =
+      static_cast<std::size_t>(args.get_int("stream-window"));
 
   Table table({"policy", "access time", "hit ratio", "rho", "demand jobs",
                "prefetch jobs", "throttled", "inflight hits", "backbone jobs",
@@ -155,7 +281,8 @@ int main(int argc, char** argv) {
         replay_cfg.telemetry = plane.get();
       }
       auto policy = factory();
-      r = run_trace_replay(trace, replay_cfg, *policy);
+      r = ram ? run_trace_replay(*ram, replay_cfg, *policy)
+              : run_trace_replay(*stream, replay_cfg, *policy);
       replay_cfg.telemetry = nullptr;
     } else {
       ShardedReplayConfig sharded_cfg;
@@ -169,7 +296,8 @@ int main(int argc, char** argv) {
         sharded_cfg.telemetry = fleet.get();
       }
       const ShardedReplayResult sr =
-          run_sharded_replay(trace, sharded_cfg, factory);
+          ram ? run_sharded_replay(*ram, sharded_cfg, factory)
+              : run_sharded_replay(*stream, sharded_cfg, factory);
       r = sr.merged;
       backbone_jobs = sr.backbone.jobs();
       if (args.get_bool("per-shard-stats")) {
@@ -209,7 +337,7 @@ int main(int argc, char** argv) {
         mem_after.peak_resident_bytes > mem_before.peak_resident_bytes
             ? static_cast<double>(mem_after.peak_resident_bytes -
                                   mem_before.peak_resident_bytes) /
-                  static_cast<double>(trace.unique_users())
+                  static_cast<double>(population)
             : 0.0;
     table.add_row({r.policy, r.mean_access_time, r.hit_ratio,
                    r.server_utilization,
@@ -223,10 +351,11 @@ int main(int argc, char** argv) {
                    run_bytes_per_user});
   }
   std::printf("\n%s\n", table.to_markdown().c_str());
-  std::printf("cache backend: %s, governor: %s\n",
+  std::printf("cache backend: %s, governor: %s, supply: %s\n",
               replay_cfg.use_legacy_caches ? "legacy TaggedCache fleet"
                                            : "slab-backed arena plane",
               replay_cfg.governor.empty() ? "(ungoverned)"
-                                          : replay_cfg.governor.c_str());
+                                          : replay_cfg.governor.c_str(),
+              ram ? "in-RAM trace" : "streamed source");
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "util/mem.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic_trace.hpp"
+#include "workload/trace_file.hpp"
 
 namespace {
 
@@ -94,6 +95,12 @@ int main(int argc, char** argv) {
                 "telemetry gauge sampling cadence (sim-seconds)");
   args.add_flag("per-shard-stats", "false",
                 "print the per-shard event/mailbox breakdown per run");
+  args.add_flag("stream", "false",
+                "stream the synthetic generator straight into the shard "
+                "feeder (no in-RAM trace; RSS stays bounded)");
+  args.add_flag("trace-file", "",
+                "replay a binary .spt trace via the mmap'd cursor instead "
+                "of generating one");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string trace_path = args.get_string("trace");
@@ -111,13 +118,39 @@ int main(int argc, char** argv) {
   trace_cfg.graph.link_skew = 1.6;
   trace_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
-  std::printf("generating %zu requests over %zu users...\n",
-              trace_cfg.num_requests, trace_cfg.num_users);
+  // Request supply: in-RAM trace (default), streamed generator, or a
+  // binary .spt trace through the mmap cursor. The streamed forms feed the
+  // shard engines epoch-by-epoch at bounded RSS; every thread-count run
+  // rewinds and replays the identical record sequence.
+  std::unique_ptr<Trace> ram;
+  std::unique_ptr<TraceFile> file;
+  std::unique_ptr<TraceSource> stream;
+  std::uint64_t population = trace_cfg.num_users;
   auto t0 = Clock::now();
-  const Trace trace = generate_synthetic_trace(trace_cfg);
-  std::printf("  %.1fs (%zu unique users, %.0fs span)\n",
-              std::chrono::duration<double>(Clock::now() - t0).count(),
-              trace.unique_users(), trace.duration());
+  const std::string file_path = args.get_string("trace-file");
+  if (!file_path.empty()) {
+    file = std::make_unique<TraceFile>(file_path);
+    stream = std::make_unique<TraceCursor>(*file);
+    population = file->header().unique_users;
+    std::printf("trace file %s: %llu records, %llu users, %.0fs span\n",
+                file_path.c_str(),
+                static_cast<unsigned long long>(file->record_count()),
+                static_cast<unsigned long long>(file->header().unique_users),
+                file->duration());
+  } else if (args.get_bool("stream")) {
+    stream = std::make_unique<SyntheticTraceStream>(trace_cfg);
+    std::printf("streaming generator: %zu requests over %zu users (never "
+                "materialized)\n",
+                trace_cfg.num_requests, trace_cfg.num_users);
+  } else {
+    std::printf("generating %zu requests over %zu users...\n",
+                trace_cfg.num_requests, trace_cfg.num_users);
+    ram = std::make_unique<Trace>(generate_synthetic_trace(trace_cfg));
+    population = ram->unique_users();
+    std::printf("  %.1fs (%zu unique users, %.0fs span)\n",
+                std::chrono::duration<double>(Clock::now() - t0).count(),
+                ram->unique_users(), ram->duration());
+  }
 
   ShardedReplayConfig cfg;
   cfg.stack.bandwidth = args.get_double("bandwidth");
@@ -157,7 +190,9 @@ int main(int argc, char** argv) {
     }
     const MemoryUsage mem_before = read_memory_usage();
     t0 = Clock::now();
-    const ShardedReplayResult r = run_sharded_replay(trace, cfg, factory);
+    const ShardedReplayResult r =
+        ram ? run_sharded_replay(*ram, cfg, factory)
+            : run_sharded_replay(*stream, cfg, factory);
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
     cfg.telemetry = nullptr;
     if (telemetry_on && !trace_path.empty() &&
@@ -189,7 +224,7 @@ int main(int argc, char** argv) {
         mem_after.peak_resident_bytes > mem_before.peak_resident_bytes
             ? static_cast<double>(mem_after.peak_resident_bytes -
                                   mem_before.peak_resident_bytes) /
-                  static_cast<double>(trace.unique_users())
+                  static_cast<double>(population)
             : 0.0;
     if (!have_reference) {
       base_secs = secs;

@@ -11,6 +11,7 @@
 #include "sim/stack_runtime.hpp"
 #include "util/contract.hpp"
 #include "util/flat_hash.hpp"
+#include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,6 +36,13 @@ struct ShardedSim::Shard {
 
   std::uint32_t id = 0;
   Simulator sim;
+  /// Raw→dense user ids, first-appearance order within the shard (built in
+  /// the metadata scan; the feeder looks ids up as it schedules).
+  FlatHashMap<UserId> user_index;
+  /// Metadata-scan accumulators for this shard's slice of the trace.
+  std::uint64_t scan_count = 0;
+  double scan_first = 0.0;
+  double scan_last = 0.0;
   std::unique_ptr<PredictorPlane> predictor;
   std::unique_ptr<PrefetchPolicy> policy;
   std::unique_ptr<OriginLink> origin;
@@ -75,45 +83,74 @@ std::uint64_t shard_seed(std::uint64_t root_seed, std::uint32_t shard) {
 ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
                        const PolicyFactory& make_policy)
     : config_(config) {
-  config.validate();
   SPECPF_EXPECTS(!trace.empty());
   SPECPF_EXPECTS(trace.is_time_ordered());
+  owned_source_ = std::make_unique<TraceVectorSource>(trace);
+  init(*owned_source_, make_policy);
+}
+
+ShardedSim::ShardedSim(TraceSource& source, const ShardedReplayConfig& config,
+                       const PolicyFactory& make_policy)
+    : config_(config) {
+  init(source, make_policy);
+}
+
+void ShardedSim::init(TraceSource& source, const PolicyFactory& make_policy) {
+  config_.validate();
   SPECPF_EXPECTS(static_cast<bool>(make_policy));
-
-  const std::size_t S = config.num_shards;
-  const std::vector<Trace> parts = trace.partition_by_user(S);
-
-  // Warmup/horizon instants come from the *global* trace so every shard
-  // switches measurement on at the same simulated time, exactly where the
-  // unsharded replay would.
-  const double t0 = trace.records().front().time;
-  const double end_time = trace.records().back().time - t0;
-  const std::size_t warmup_records = static_cast<std::size_t>(
-      config.stack.warmup_fraction * static_cast<double>(trace.size()));
-  const double warmup_time =
-      warmup_records > 0 ? trace.records()[warmup_records].time - t0 : 0.0;
-  // Per-shard count of records inside the global warmup prefix: shard s's
-  // subtrace index warmup_cut[s] is the first record at-or-after the global
-  // warmup boundary, preserving the unsharded insertion order around it.
-  std::vector<std::size_t> warmup_cut(S, 0);
-  for (std::size_t i = 0; i < warmup_records; ++i) {
-    ++warmup_cut[shard_of_user(trace.records()[i].user, S)];
-  }
-
-  const bool control_plane_on =
-      !config.stack.governor.empty() || config.stack.enable_load_sensor;
+  source_ = &source;
+  const std::size_t S = config_.num_shards;
 
   shards_.reserve(S);
   for (std::uint32_t s = 0; s < S; ++s) {
-    auto shard = std::make_unique<Shard>(S);
-    shard->id = s;
+    shards_.push_back(std::make_unique<Shard>(S));
+    shards_.back()->id = s;
+  }
+
+  // Metadata scan (one sequential pass): global count/time span, and per
+  // shard the record count, time span, and densified user ids
+  // (first-appearance order within the shard — the same order iterating
+  // the shard's partition_by_user sub-trace would produce). Warmup and
+  // horizon instants come from the *global* trace so every shard switches
+  // measurement on at the same simulated time, exactly where the unsharded
+  // replay would.
+  source.reset();
+  {
+    TraceRecord r;
+    double prev = 0.0;
+    double last = 0.0;
+    while (source.next(&r)) {
+      SPECPF_EXPECTS(total_records_ == 0 || r.time >= prev);  // time-ordered
+      prev = r.time;
+      if (total_records_ == 0) t0_ = r.time;
+      last = r.time;
+      Shard& shard = *shards_[shard_of_user(r.user, S)];
+      if (shard.scan_count == 0) shard.scan_first = r.time;
+      shard.scan_last = r.time;
+      ++shard.scan_count;
+      bool inserted = false;
+      UserId& dense = shard.user_index.get_or_insert(r.user, &inserted);
+      if (inserted) dense = static_cast<UserId>(shard.user_index.size() - 1);
+      ++total_records_;
+    }
+    SPECPF_EXPECTS(total_records_ > 0);
+    end_time_ = last - t0_;
+  }
+  warmup_records_ = static_cast<std::size_t>(
+      config_.stack.warmup_fraction * static_cast<double>(total_records_));
+
+  const bool control_plane_on =
+      !config_.stack.governor.empty() || config_.stack.enable_load_sensor;
+
+  for (std::uint32_t s = 0; s < S; ++s) {
+    Shard* shard = shards_[s].get();
     shard->origin =
-        std::make_unique<OriginLink>(shard->sim, config.backbone_bandwidth);
-    if (control_plane_on) shard->origin->enable_sensor(config.stack.sensor);
-    if (config.telemetry != nullptr) {
+        std::make_unique<OriginLink>(shard->sim, config_.backbone_bandwidth);
+    if (control_plane_on) shard->origin->enable_sensor(config_.stack.sensor);
+    if (config_.telemetry != nullptr) {
       // Origin-uplink gauges register *before* the runtime builds (the
       // runtime seals the plane); the driver refreshes them at barriers.
-      shard->telemetry = &config.telemetry->shard(s);
+      shard->telemetry = &config_.telemetry->shard(s);
       TelemetryRegistry& reg = shard->telemetry->registry();
       shard->g_origin_queue = reg.register_gauge("origin.queue_depth");
       shard->g_origin_util = reg.register_gauge("origin.util_ewma");
@@ -121,66 +158,55 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
       shard->g_origin_slowdown = reg.register_gauge("origin.slowdown_ewma");
     }
 
-    const Trace& part = parts[s];
-    if (part.empty()) {
+    if (shard->scan_count == 0) {
       // No users here; the origin link still serves remote-homed items.
       // Its telemetry plane seals with just the origin gauges (no runtime
       // registers anything further); barrier sampling still records rows.
+      // Warmup reset / horizon snapshot are scheduled by the feeder at the
+      // same boundary records as everyone else's.
       if (shard->telemetry != nullptr) shard->telemetry->seal();
-      if (warmup_records > 0) {
-        OriginLink* origin = shard->origin.get();
-        shard->sim.schedule_at(warmup_time,
-                               [origin] { origin->reset_stats(); });
-      }
-      shard->sim.schedule_at(end_time, [raw = shard.get()] {
-        raw->backbone_horizon = raw->origin->stats();
-      });
-      shards_.push_back(std::move(shard));
       continue;
     }
 
-    // Densify this shard's user ids (first-appearance order), mirroring the
-    // unsharded replay.
-    FlatHashMap<UserId> user_index;
-    for (const auto& r : part.records()) {
-      bool inserted = false;
-      UserId& dense = user_index.get_or_insert(r.user, &inserted);
-      if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
-    }
-
-    shard->predictor =
-        make_replay_predictor(config.stack.predictor_kind, user_index.size(),
-                              config.stack.use_legacy_predictors);
+    shard->predictor = make_replay_predictor(config_.stack.predictor_kind,
+                                             shard->user_index.size(),
+                                             config_.stack.use_legacy_predictors);
     shard->policy = make_policy();
     if (policy_name_.empty()) policy_name_ = shard->policy->name();
 
     StackRuntimeConfig rt;
-    rt.bandwidth = config.stack.bandwidth;
-    rt.item_size = config.stack.item_size;
-    rt.num_users = user_index.size();
-    rt.cache_capacity = config.stack.cache_capacity;
-    rt.cache_kind = config.stack.cache_kind;
-    rt.estimator_model = config.stack.estimator_model;
-    rt.max_prefetch_per_request = config.stack.max_prefetch_per_request;
-    rt.seed = shard_seed(config.stack.seed, s);
-    rt.lambda_prior = std::max(1e-9, part.mean_request_rate());
-    rt.use_tree_inflight = config.stack.use_tree_inflight;
-    rt.use_legacy_caches = config.stack.use_legacy_caches;
-    rt.enable_load_sensor = config.stack.enable_load_sensor;
-    rt.sensor = config.stack.sensor;
+    rt.bandwidth = config_.stack.bandwidth;
+    rt.item_size = config_.stack.item_size;
+    rt.num_users = shard->user_index.size();
+    rt.cache_capacity = config_.stack.cache_capacity;
+    rt.cache_kind = config_.stack.cache_kind;
+    rt.estimator_model = config_.stack.estimator_model;
+    rt.max_prefetch_per_request = config_.stack.max_prefetch_per_request;
+    rt.seed = shard_seed(config_.stack.seed, s);
+    // Matches the partitioned sub-trace's mean_request_rate bit-for-bit
+    // (duration = last − first on the same doubles, rate 0 if degenerate).
+    const double duration =
+        shard->scan_count >= 2 ? shard->scan_last - shard->scan_first : 0.0;
+    rt.lambda_prior = std::max(
+        1e-9,
+        safe_div(static_cast<double>(shard->scan_count), duration, 0.0));
+    rt.use_tree_inflight = config_.stack.use_tree_inflight;
+    rt.use_legacy_caches = config_.stack.use_legacy_caches;
+    rt.enable_load_sensor = config_.stack.enable_load_sensor;
+    rt.sensor = config_.stack.sensor;
     rt.telemetry = shard->telemetry;  // runtime registers its set and seals
-    if (!config.stack.governor.empty()) {
+    if (!config_.stack.governor.empty()) {
       // One governor per shard: governors carry control state, so shards
       // cannot share an instance (same reason policies are per-shard).
-      shard->governor = make_governor_by_name(config.stack.governor,
-                                              config.stack.governor_config);
+      shard->governor = make_governor_by_name(config_.stack.governor,
+                                              config_.stack.governor_config);
       SPECPF_EXPECTS(shard->governor != nullptr);
       rt.governor = shard->governor.get();
     }
     if (S > 1) {
       // Cross-shard traffic capture. Thread-local by construction: the
       // observer only appends to this shard's own outbox.
-      Shard* raw = shard.get();
+      Shard* raw = shard;
       rt.retrieval_observer = [raw, S](UserId, ItemId item, bool is_prefetch) {
         const std::uint32_t dst = home_shard(item, S);
         if (dst == raw->id) return;
@@ -190,43 +216,79 @@ ShardedSim::ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
     shard->runtime = std::make_unique<StackRuntime>(
         shard->sim, *shard->predictor, *shard->policy, std::move(rt));
 
-    // Schedule the shard's whole subtrace before the first pop so it lands
-    // in the engine's O(1)-pop sorted tier.
-    std::size_t index = 0;
-    StackRuntime* runtime = shard->runtime.get();
+    // With no warmup prefix, measurement must be live before the feeder
+    // delivers the first request.
+    if (warmup_records_ == 0) shard->runtime->begin_measurement();
+  }
+
+  // Prime the feeder; records flow into the engines epoch-by-epoch during
+  // run(). A whole-trace epoch still lands each batch in the engine's
+  // O(1)-pop sorted tier because feeding happens before that epoch's pops.
+  source.reset();
+  have_pending_ = source.next(&pending_record_);
+  SPECPF_ENSURES(have_pending_);
+}
+
+ShardedSim::~ShardedSim() = default;
+
+void ShardedSim::schedule_warmup_events() {
+  // The feeder calls this exactly when the warmup-boundary record (global
+  // index warmup_records_) is the next to be scheduled, so shard s has
+  // exactly its slice of the global warmup prefix in its engine — the
+  // begin-measurement event takes the same insertion position it did when
+  // the whole partitioned sub-trace was scheduled up front. Every shard
+  // has only run to the previous epoch barrier, which is before this
+  // record's arrival time, so the schedule is legal fleet-wide.
+  const double warmup_time = pending_record_.time - t0_;
+  for (auto& shard : shards_) {
     OriginLink* origin = shard->origin.get();
-    for (const auto& r : part.records()) {
-      const UserId user = *user_index.find(r.user);
-      const double when = r.time - t0;
-      SPECPF_EXPECTS(when >= 0.0);
-      if (warmup_records > 0 && index == warmup_cut[s]) {
-        shard->sim.schedule_at(warmup_time, [runtime, origin] {
-          runtime->begin_measurement();
-          origin->reset_stats();
-        });
-      }
-      shard->sim.schedule_at(when, [runtime, user, item = r.item] {
-        runtime->handle_request(user, item);
-      });
-      ++index;
-    }
-    if (warmup_records > 0 && warmup_cut[s] == part.size()) {
+    if (shard->runtime) {
+      StackRuntime* runtime = shard->runtime.get();
       shard->sim.schedule_at(warmup_time, [runtime, origin] {
         runtime->begin_measurement();
         origin->reset_stats();
       });
+    } else {
+      shard->sim.schedule_at(warmup_time, [origin] { origin->reset_stats(); });
     }
-    if (warmup_records == 0) shard->runtime->begin_measurement();
-
-    shard->sim.schedule_at(end_time, [raw = shard.get()] {
-      raw->horizon = raw->runtime->snapshot_server();
-      raw->backbone_horizon = raw->origin->stats();
-    });
-    shards_.push_back(std::move(shard));
   }
 }
 
-ShardedSim::~ShardedSim() = default;
+void ShardedSim::schedule_horizons() {
+  for (auto& shard : shards_) {
+    if (shard->runtime) {
+      shard->sim.schedule_at(end_time_, [raw = shard.get()] {
+        raw->horizon = raw->runtime->snapshot_server();
+        raw->backbone_horizon = raw->origin->stats();
+      });
+    } else {
+      shard->sim.schedule_at(end_time_, [raw = shard.get()] {
+        raw->backbone_horizon = raw->origin->stats();
+      });
+    }
+  }
+}
+
+void ShardedSim::feed_records(double epoch_end) {
+  const std::size_t S = shards_.size();
+  while (have_pending_) {
+    const double when = pending_record_.time - t0_;
+    if (when > epoch_end) return;
+    SPECPF_EXPECTS(when >= 0.0);
+    if (warmup_records_ > 0 && fed_index_ == warmup_records_) {
+      schedule_warmup_events();
+    }
+    Shard& shard = *shards_[shard_of_user(pending_record_.user, S)];
+    const UserId user = *shard.user_index.find(pending_record_.user);
+    StackRuntime* runtime = shard.runtime.get();
+    shard.sim.schedule_at(when, [runtime, user, item = pending_record_.item] {
+      runtime->handle_request(user, item);
+    });
+    ++fed_index_;
+    have_pending_ = source_->next(&pending_record_);
+    if (!have_pending_) schedule_horizons();
+  }
+}
 
 double ShardedSim::fleet_next_event_time() {
   double t_min = std::numeric_limits<double>::infinity();
@@ -328,13 +390,22 @@ ShardedReplayResult ShardedSim::run() {
   // Conservative epoch loop. Lookahead = backbone latency: every event a
   // shard emits during [t_min, t_min + L) is delivered at send + L >=
   // t_min + L, i.e. never inside a window anyone already executed. Epochs
-  // are anchored at the fleet-wide earliest pending event, which also
-  // fast-forwards through idle stretches instead of spinning fixed-width
-  // windows over them.
+  // are anchored at the fleet-wide earliest pending event — engine events
+  // and the feeder's next unscheduled trace record alike, so the epoch
+  // sequence is identical to the historical whole-trace-prescheduled
+  // driver's — which also fast-forwards through idle stretches instead of
+  // spinning fixed-width windows over them.
   const double lookahead = config_.backbone_latency;
   for (;;) {
-    const double t_min = fleet_next_event_time();
+    double t_min = fleet_next_event_time();
+    if (have_pending_) {
+      t_min = std::min(t_min, pending_record_.time - t0_);
+    }
     if (!std::isfinite(t_min)) break;
+    // Feed this window's records before its pops: each batch lands in the
+    // destination engine's O(1)-pop sorted tier, and occupancy stays at
+    // ~one epoch's worth of arrivals instead of the whole trace.
+    feed_records(t_min + lookahead);
     run_epoch(t_min + lookahead);
     ++epochs_;
     exchange_mailboxes();
@@ -405,6 +476,13 @@ ShardedReplayResult run_sharded_replay(const Trace& trace,
                                        const ShardedReplayConfig& config,
                                        const PolicyFactory& make_policy) {
   ShardedSim sim(trace, config, make_policy);
+  return sim.run();
+}
+
+ShardedReplayResult run_sharded_replay(TraceSource& source,
+                                       const ShardedReplayConfig& config,
+                                       const PolicyFactory& make_policy) {
+  ShardedSim sim(source, config, make_policy);
   return sim.run();
 }
 

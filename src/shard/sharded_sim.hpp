@@ -94,12 +94,21 @@ using PolicyFactory =  // invoked once per shard at setup
 
 class ShardedSim {
  public:
-  /// Partitions `trace` (time-ordered, borrowed for the lifetime of the
-  /// object) and builds the per-shard engines. All scheduling happens here,
-  /// before the first pop, so each shard's trace lands in its engine's
-  /// O(1)-pop sorted tier.
+  /// Builds the per-shard engines over an in-RAM trace (time-ordered,
+  /// borrowed for the lifetime of the object). Wraps the trace in a
+  /// TraceVectorSource and streams it like any other source.
   ShardedSim(const Trace& trace, const ShardedReplayConfig& config,
              const PolicyFactory& make_policy);
+
+  /// Streaming form: `source` (time-ordered, borrowed for the lifetime of
+  /// the object) is scanned once up front for per-shard metadata (record
+  /// counts, time spans, user densification), then records are fed to the
+  /// shard engines epoch-by-epoch during run() — engine occupancy tracks
+  /// the epoch window, not the trace length, so billion-request sources
+  /// replay at bounded RSS.
+  ShardedSim(TraceSource& source, const ShardedReplayConfig& config,
+             const PolicyFactory& make_policy);
+
   ~ShardedSim();
 
   ShardedSim(const ShardedSim&) = delete;
@@ -118,6 +127,19 @@ class ShardedSim {
  private:
   struct Shard;
 
+  /// Shared constructor body: metadata scan + per-shard engine build.
+  void init(TraceSource& source, const PolicyFactory& make_policy);
+  /// Feeds pending records with arrival time ≤ epoch_end into their shard
+  /// engines (global trace order), interleaving the fleet-wide warmup
+  /// events at the warmup boundary record and the horizon snapshots after
+  /// the last record — the same engine insertion sequence per shard that
+  /// scheduling the whole partitioned trace up front produced.
+  void feed_records(double epoch_end);
+  /// Schedules begin_measurement / origin stat resets on every shard at
+  /// the global warmup instant (canonical shard order).
+  void schedule_warmup_events();
+  /// Schedules the per-shard measurement-horizon snapshots at end_time_.
+  void schedule_horizons();
   /// Runs every shard to `epoch_end` (serially or on the pool).
   void run_epoch(double epoch_end);
   /// Drains all mailboxes into destination engines, canonical order.
@@ -147,10 +169,27 @@ class ShardedSim {
   std::uint64_t epochs_ = 0;
   std::uint64_t cross_shard_events_ = 0;
   bool ran_ = false;
+
+  /// Record supply (borrowed; the Trace ctor routes through owned_source_).
+  TraceSource* source_ = nullptr;
+  std::unique_ptr<TraceVectorSource> owned_source_;
+  std::uint64_t total_records_ = 0;
+  std::size_t warmup_records_ = 0;
+  double t0_ = 0.0;        ///< raw time of the first record
+  double end_time_ = 0.0;  ///< measurement horizon (shifted)
+  /// Feeder cursor: the next unscheduled record and its global index.
+  TraceRecord pending_record_;
+  std::uint64_t fed_index_ = 0;
+  bool have_pending_ = false;
 };
 
 /// Convenience wrapper: construct, run, return.
 ShardedReplayResult run_sharded_replay(const Trace& trace,
+                                       const ShardedReplayConfig& config,
+                                       const PolicyFactory& make_policy);
+
+/// Streaming form of the wrapper (see ShardedSim's TraceSource ctor).
+ShardedReplayResult run_sharded_replay(TraceSource& source,
                                        const ShardedReplayConfig& config,
                                        const PolicyFactory& make_policy);
 

@@ -1,8 +1,11 @@
 #include "sim/trace_replay.hpp"
 
+#include <algorithm>
+
 #include "des/simulator.hpp"
 #include "sim/stack_runtime.hpp"
 #include "util/contract.hpp"
+#include "util/math.hpp"
 
 namespace specpf {
 
@@ -13,6 +16,7 @@ void TraceReplayConfig::validate() const {
   SPECPF_EXPECTS(max_prefetch_per_request >= 1);
   SPECPF_EXPECTS(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
   SPECPF_EXPECTS(governor.empty() || is_governor_name(governor));
+  SPECPF_EXPECTS(stream_window >= 1);
   // Replay has no generating graph for the oracle to read.
   SPECPF_EXPECTS(predictor_kind != PredictorKind::kOracle);
 }
@@ -26,21 +30,35 @@ std::unique_ptr<PredictorPlane> make_replay_predictor(
   return make_predictor_plane(kind, plane_config, use_legacy);
 }
 
-ProxySimResult run_trace_replay(const Trace& trace,
+ProxySimResult run_trace_replay(TraceSource& source,
                                 const TraceReplayConfig& config,
                                 PrefetchPolicy& policy) {
   config.validate();
-  SPECPF_EXPECTS(!trace.empty());
-  SPECPF_EXPECTS(trace.is_time_ordered());
 
-  // Densify user ids (first-appearance order): the runtime indexes users
-  // contiguously.
+  // Pass 1 (metadata): record count, time span, and user densification
+  // (first-appearance order — the runtime indexes users contiguously).
+  // Sources are cheap to rewind, so two sequential scans beat holding the
+  // trace in RAM.
   FlatHashMap<UserId> user_index;
-  for (const auto& r : trace.records()) {
-    bool inserted = false;
-    UserId& dense = user_index.get_or_insert(r.user, &inserted);
-    if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
+  std::uint64_t record_count = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+  source.reset();
+  {
+    TraceRecord r;
+    double prev = 0.0;
+    while (source.next(&r)) {
+      SPECPF_EXPECTS(record_count == 0 || r.time >= prev);  // time-ordered
+      prev = r.time;
+      if (record_count == 0) first_time = r.time;
+      last_time = r.time;
+      bool inserted = false;
+      UserId& dense = user_index.get_or_insert(r.user, &inserted);
+      if (inserted) dense = static_cast<UserId>(user_index.size() - 1);
+      ++record_count;
+    }
   }
+  SPECPF_EXPECTS(record_count > 0);
 
   auto predictor = make_replay_predictor(config.predictor_kind,
                                          user_index.size(),
@@ -55,7 +73,11 @@ ProxySimResult run_trace_replay(const Trace& trace,
   runtime_config.estimator_model = config.estimator_model;
   runtime_config.max_prefetch_per_request = config.max_prefetch_per_request;
   runtime_config.seed = config.seed;
-  runtime_config.lambda_prior = std::max(1e-9, trace.mean_request_rate());
+  // Matches Trace::mean_request_rate bit-for-bit on an ordered trace
+  // (duration = last − first, rate 0 if degenerate).
+  const double duration = record_count >= 2 ? last_time - first_time : 0.0;
+  runtime_config.lambda_prior = std::max(
+      1e-9, safe_div(static_cast<double>(record_count), duration, 0.0));
   runtime_config.use_tree_inflight = config.use_tree_inflight;
   runtime_config.use_legacy_caches = config.use_legacy_caches;
   runtime_config.enable_load_sensor = config.enable_load_sensor;
@@ -71,34 +93,60 @@ ProxySimResult run_trace_replay(const Trace& trace,
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, std::move(runtime_config));
 
-  // Shift the trace so the first request fires at t = 0. The whole trace is
-  // bulk-scheduled before the first pop, which lands it in the engine's
-  // sorted O(1)-pop tier rather than paying a heap sift per record.
-  const double t0 = trace.records().front().time;
+  // Shift the trace so the first request fires at t = 0.
+  const double t0 = first_time;
   const std::size_t warmup_records = static_cast<std::size_t>(
-      config.warmup_fraction * static_cast<double>(trace.size()));
-
-  std::size_t index = 0;
-  for (const auto& r : trace.records()) {
-    const UserId user = *user_index.find(r.user);
-    const double when = r.time - t0;
-    SPECPF_EXPECTS(when >= 0.0);
-    if (warmup_records > 0 && index == warmup_records) {
-      sim.schedule_at(when, [&runtime] { runtime.begin_measurement(); });
-    }
-    sim.schedule_at(when, [&runtime, user, item = r.item] {
-      runtime.handle_request(user, item);
-    });
-    ++index;
-  }
+      config.warmup_fraction * static_cast<double>(record_count));
+  // Measurement must be live before the first request executes, and
+  // windows below execute requests mid-pass — so unlike the historical
+  // bulk path this cannot wait until after the scheduling loop.
   if (warmup_records == 0) runtime.begin_measurement();
 
-  const double end_time = trace.records().back().time - t0;
+  // Pass 2 (schedule): feed stream_window records, run the engine up to
+  // the window's last arrival, repeat. Scheduling each batch before the
+  // first pop of its window lands it in the engine's sorted O(1)-pop tier
+  // rather than paying a heap sift per record, and occupancy stays at
+  // ~window size instead of the whole trace. A whole-trace window (trace
+  // shorter than stream_window) degenerates to the original bulk
+  // schedule-everything-then-run replay, event for event.
+  source.reset();
+  {
+    TraceRecord r;
+    std::size_t index = 0;
+    while (source.next(&r)) {
+      const double when = r.time - t0;
+      SPECPF_EXPECTS(when >= 0.0);
+      if (index > 0 && index % config.stream_window == 0) {
+        // run_until leaves sim.now() at `when`'s predecessor window edge;
+        // arrivals are non-decreasing, so scheduling stays legal.
+        sim.run_until(when);
+      }
+      if (warmup_records > 0 && index == warmup_records) {
+        sim.schedule_at(when, [&runtime] { runtime.begin_measurement(); });
+      }
+      const UserId user = *user_index.find(r.user);
+      sim.schedule_at(when, [&runtime, user, item = r.item] {
+        runtime.handle_request(user, item);
+      });
+      ++index;
+    }
+  }
+
+  const double end_time = last_time - t0;
   ServerStats horizon_stats;
   sim.schedule_at(end_time, [&] { horizon_stats = runtime.snapshot_server(); });
 
-  sim.run();  // replay everything and drain
+  sim.run();  // replay the tail window and drain
   return runtime.finalize(horizon_stats, policy.name());
+}
+
+ProxySimResult run_trace_replay(const Trace& trace,
+                                const TraceReplayConfig& config,
+                                PrefetchPolicy& policy) {
+  SPECPF_EXPECTS(!trace.empty());
+  SPECPF_EXPECTS(trace.is_time_ordered());
+  TraceVectorSource source(trace);
+  return run_trace_replay(source, config, policy);
 }
 
 }  // namespace specpf

@@ -18,6 +18,7 @@
 #include "predict/predictor_plane.hpp"
 #include "sim/proxy_sim.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_stream.hpp"
 
 namespace specpf {
 
@@ -74,11 +75,27 @@ struct TraceReplayConfig {
   /// serve S independent engines).
   class TelemetryPlane* telemetry = nullptr;
 
+  /// Streaming granularity: how many trace records to schedule into the
+  /// engine before running it forward. Bounds engine occupancy at
+  /// ~stream_window events (plus in-flight fetches) regardless of trace
+  /// length — the knob that keeps billion-request replays at bounded RSS.
+  /// Traces shorter than one window replay exactly like the old
+  /// bulk-schedule-everything path.
+  std::size_t stream_window = 65536;
+
   void validate() const;
 };
 
 /// Replays `trace` (must be time-ordered) under `policy`.
 ProxySimResult run_trace_replay(const Trace& trace,
+                                const TraceReplayConfig& config,
+                                PrefetchPolicy& policy);
+
+/// Streaming form: pulls requests from `source` (time-ordered) in
+/// stream_window batches instead of materializing a Trace. Two sequential
+/// passes over the source (metadata, then schedule); results are
+/// bit-identical to the in-RAM overload fed the same record sequence.
+ProxySimResult run_trace_replay(TraceSource& source,
                                 const TraceReplayConfig& config,
                                 PrefetchPolicy& policy);
 

@@ -87,54 +87,80 @@ void SyntheticTraceConfig::validate() const {
   }
 }
 
-Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
+namespace {
+const SyntheticTraceConfig& validated(const SyntheticTraceConfig& config) {
   config.validate();
-  SessionGraph graph(config.graph, Rng(config.seed).substream(1).next_u64());
-  Rng rng(config.seed);
+  return config;
+}
+}  // namespace
 
-  const ArrivalModulation& mod = config.modulation;
-  const bool stationary = mod.kind == ArrivalModulation::Kind::kStationary;
-  const bool hotspot = mod.kind == ArrivalModulation::Kind::kHotspot;
-  const double envelope = mod.max_rate_factor();
+SyntheticTraceStream::SyntheticTraceStream(const SyntheticTraceConfig& config)
+    : config_(validated(config)),
+      graph_(config_.graph, Rng(config_.seed).substream(1).next_u64()),
+      gap_(1.0 /
+           (config_.request_rate * config_.modulation.max_rate_factor())),
+      rng_(config_.seed),
+      // Per-user session position (8 bytes/user) — the stream's only
+      // trace-length-independent state besides the RNG.
+      page_(config_.num_users, kIdle) {
+  const ArrivalModulation& mod = config_.modulation;
+  hotspot_ = mod.kind == ArrivalModulation::Kind::kHotspot;
+  envelope_ = mod.max_rate_factor();
   // Candidate arrivals run at the envelope rate; thinning keeps each with
   // probability rate(t)/envelope — an exact nonhomogeneous Poisson process.
   // The stationary path takes no thinning draws at all, so it reproduces
   // the pre-modulation generator's RNG sequence byte-for-byte.
-  const bool thinning = !stationary && envelope > 1.0;
-  ExponentialDist gap(1.0 / (config.request_rate * envelope));
+  thinning_ = mod.kind != ArrivalModulation::Kind::kStationary &&
+              envelope_ > 1.0;
   // Hot-group size for the hotspot scenario: users with
   // user % hot_modulus == hot_residue.
-  const std::uint64_t hot_count =
-      hotspot && config.num_users > mod.hot_residue
-          ? (config.num_users - 1 - mod.hot_residue) / mod.hot_modulus + 1
-          : 0;
+  hot_count_ = hotspot_ && config_.num_users > mod.hot_residue
+                   ? (config_.num_users - 1 - mod.hot_residue) /
+                             mod.hot_modulus +
+                         1
+                   : 0;
+}
 
-  // Per-user session position; kIdle = between sessions. A flat vector (8
-  // bytes/user) keeps the generator itself out of the hash-map business.
-  constexpr std::uint64_t kIdle = ~std::uint64_t{0};
-  std::vector<std::uint64_t> page(config.num_users, kIdle);
-
-  std::vector<TraceRecord> records;
-  records.reserve(config.num_requests);
-  double t = 0.0;
-  while (records.size() < config.num_requests) {
-    t += gap.sample(rng);
-    if (thinning && !rng.bernoulli(mod.rate_factor(t) / envelope)) continue;
+bool SyntheticTraceStream::next(TraceRecord* out) {
+  if (emitted_ == config_.num_requests) return false;
+  const ArrivalModulation& mod = config_.modulation;
+  for (;;) {
+    t_ += gap_.sample(rng_);
+    if (thinning_ && !rng_.bernoulli(mod.rate_factor(t_) / envelope_)) {
+      continue;
+    }
     std::uint32_t user;
-    if (hotspot && hot_count > 0 && mod.window_active(t) &&
-        rng.bernoulli(mod.hot_weight)) {
+    if (hotspot_ && hot_count_ > 0 && mod.window_active(t_) &&
+        rng_.bernoulli(mod.hot_weight)) {
       user = static_cast<std::uint32_t>(
-          mod.hot_residue + mod.hot_modulus * (rng.next_u64() % hot_count));
+          mod.hot_residue + mod.hot_modulus * (rng_.next_u64() % hot_count_));
     } else {
-      user = static_cast<std::uint32_t>(rng.next_u64() % config.num_users);
+      user = static_cast<std::uint32_t>(rng_.next_u64() % config_.num_users);
     }
     std::uint64_t item;
-    if (page[user] == kIdle || !graph.sample_next(page[user], rng, &item)) {
-      item = graph.sample_entry(rng);  // new session (or the previous ended)
+    if (page_[user] == kIdle || !graph_.sample_next(page_[user], rng_, &item)) {
+      item = graph_.sample_entry(rng_);  // new session (or the previous ended)
     }
-    page[user] = item;
-    records.push_back({t, user, item});
+    page_[user] = item;
+    *out = {t_, user, item};
+    ++emitted_;
+    return true;
   }
+}
+
+void SyntheticTraceStream::reset() {
+  rng_ = Rng(config_.seed);
+  std::fill(page_.begin(), page_.end(), kIdle);
+  t_ = 0.0;
+  emitted_ = 0;
+}
+
+Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
+  SyntheticTraceStream stream(config);
+  std::vector<TraceRecord> records;
+  records.reserve(config.num_requests);
+  TraceRecord record;
+  while (stream.next(&record)) records.push_back(record);
   return Trace{std::move(records)};
 }
 

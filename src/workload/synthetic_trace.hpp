@@ -20,9 +20,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
 #include "workload/session_graph.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_stream.hpp"
 
 namespace specpf {
 
@@ -83,7 +87,43 @@ struct SyntheticTraceConfig {
 /// Generates a time-ordered trace; every user id in [0, num_users) is
 /// equally likely per request (modulo the hotspot window), so for
 /// num_requests >> num_users nearly the whole population appears.
+/// Materializing wrapper over SyntheticTraceStream.
 Trace generate_synthetic_trace(const SyntheticTraceConfig& config);
+
+/// The generator as a resumable TraceSource: emits the exact record
+/// sequence generate_synthetic_trace would produce for the same config —
+/// identical RNG draw order, full-precision double timestamps — one record
+/// per next() call, so a billion-request run never materializes the trace.
+/// Memory is O(num_users) (the per-user session-position vector), not
+/// O(num_requests). reset() re-seeds the RNG and clears the session state;
+/// the (immutable) SessionGraph is built once.
+class SyntheticTraceStream final : public TraceSource {
+ public:
+  explicit SyntheticTraceStream(const SyntheticTraceConfig& config);
+
+  bool next(TraceRecord* out) override;
+  void reset() override;
+
+  const SyntheticTraceConfig& config() const { return config_; }
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  /// Between sessions; matches the flat per-user vector of the original
+  /// generator so the graph-walk draws line up exactly.
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  SyntheticTraceConfig config_;
+  SessionGraph graph_;
+  ExponentialDist gap_;
+  Rng rng_;
+  std::vector<std::uint64_t> page_;
+  double t_ = 0.0;
+  std::uint64_t emitted_ = 0;
+  bool thinning_ = false;
+  bool hotspot_ = false;
+  double envelope_ = 1.0;
+  std::uint64_t hot_count_ = 0;
+};
 
 /// Named scenario presets, shared by examples/congestion_sweep and
 /// bench/perf_control so scenario shapes cannot drift between them:

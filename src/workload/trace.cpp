@@ -1,7 +1,9 @@
 #include "workload/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -80,11 +82,35 @@ std::vector<Trace> Trace::partition_by_user(std::size_t num_shards) const {
 }
 
 void Trace::save_csv(std::ostream& os) const {
+  // max_digits10 keeps the save/load round trip exact; shorter defaults
+  // would quantize timestamps to 6 significant digits.
+  const auto precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "time,user,item\n";
   for (const auto& r : records_) {
     os << r.time << ',' << r.user << ',' << r.item << '\n';
   }
+  os.precision(precision);
 }
+
+namespace {
+
+[[noreturn]] void bad_csv(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("trace CSV: " + why + " at line " +
+                           std::to_string(line_no));
+}
+
+/// istream happily parses "-1" into an unsigned field (modular wrap), so
+/// sign-check each id column explicitly.
+void reject_negative(std::istringstream& ls, std::size_t line_no,
+                     const char* column) {
+  ls >> std::ws;
+  if (ls.peek() == '-') {
+    bad_csv(line_no, std::string("negative ") + column);
+  }
+}
+
+}  // namespace
 
 Trace Trace::load_csv(std::istream& is) {
   std::string line;
@@ -94,17 +120,36 @@ Trace Trace::load_csv(std::istream& is) {
   }
   std::vector<TraceRecord> records;
   std::size_t line_no = 1;
+  double prev_time = 0.0;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
     std::istringstream ls(line);
     TraceRecord r;
     char c1 = 0, c2 = 0;
-    if (!(ls >> r.time >> c1 >> r.user >> c2 >> r.item) || c1 != ',' ||
-        c2 != ',') {
-      throw std::runtime_error("trace CSV: bad record at line " +
-                               std::to_string(line_no));
+    if (!(ls >> r.time >> c1) || c1 != ',') {
+      bad_csv(line_no, "bad record");
     }
+    reject_negative(ls, line_no, "user id");
+    if (!(ls >> r.user >> c2) || c2 != ',') {
+      bad_csv(line_no, "bad record");
+    }
+    reject_negative(ls, line_no, "item id");
+    if (!(ls >> r.item)) {
+      bad_csv(line_no, "bad record");
+    }
+    char extra = 0;
+    if (ls >> extra) {
+      bad_csv(line_no, "trailing garbage after item column");
+    }
+    if (!std::isfinite(r.time)) {
+      bad_csv(line_no, "non-finite time");
+    }
+    if (!records.empty() && r.time < prev_time) {
+      bad_csv(line_no, "time goes backwards (" + std::to_string(r.time) +
+                           " after " + std::to_string(prev_time) + ")");
+    }
+    prev_time = r.time;
     records.push_back(r);
   }
   return Trace{std::move(records)};
@@ -120,6 +165,21 @@ Trace Trace::load_csv_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
   return load_csv(is);
+}
+
+TraceShardView::TraceShardView(const Trace& trace, std::uint32_t shard,
+                               std::size_t num_shards)
+    : trace_(&trace), shard_(shard), num_shards_(num_shards) {
+  SPECPF_EXPECTS(num_shards >= 1);
+  SPECPF_EXPECTS(shard < num_shards);
+}
+
+std::size_t TraceShardView::count() const {
+  std::size_t n = 0;
+  for (const auto& r : trace_->records()) {
+    if (r.user % num_shards_ == shard_) ++n;
+  }
+  return n;
 }
 
 }  // namespace specpf

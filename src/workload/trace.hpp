@@ -44,11 +44,20 @@ class Trace {
   /// Splits the trace into `num_shards` sub-traces by user (shard of user u
   /// is u % num_shards), preserving record order within each shard — the
   /// user→shard partitioning of the sharded runtime. Shard 0 of a 1-way
-  /// partition is the whole trace.
+  /// partition is the whole trace. Copies every record; callers that only
+  /// need to *walk* one shard's records should use TraceShardView instead.
   std::vector<Trace> partition_by_user(std::size_t num_shards) const;
 
-  /// CSV with header "time,user,item".
+  /// CSV with header "time,user,item". Timestamps are written with
+  /// max_digits10 precision so a save/load round trip reproduces the
+  /// doubles exactly.
   void save_csv(std::ostream& os) const;
+
+  /// Parses the CSV written by save_csv. Throws std::runtime_error with
+  /// the offending line number on a malformed record, a negative id, a
+  /// non-finite timestamp, trailing garbage after the item column, or a
+  /// timestamp that moves backwards (replay requires time order; sort
+  /// externally before loading if the source is unordered).
   static Trace load_csv(std::istream& is);
 
   void save_csv_file(const std::string& path) const;
@@ -56,6 +65,70 @@ class Trace {
 
  private:
   std::vector<TraceRecord> records_;
+};
+
+/// Non-copying per-shard view over a Trace: iterates the records whose user
+/// maps to `shard` (user % num_shards == shard) in trace order, skipping the
+/// rest in place. The allocation-free counterpart of partition_by_user for
+/// callers that only need one sequential walk — O(1) space instead of a
+/// 24 B/record copy. The viewed trace must outlive the view.
+class TraceShardView {
+ public:
+  TraceShardView(const Trace& trace, std::uint32_t shard,
+                 std::size_t num_shards);
+
+  class iterator {
+   public:
+    using value_type = TraceRecord;
+    using reference = const TraceRecord&;
+
+    reference operator*() const { return (*records_)[index_]; }
+    const TraceRecord* operator->() const { return &(*records_)[index_]; }
+    iterator& operator++() {
+      ++index_;
+      skip_to_match();
+      return *this;
+    }
+    bool operator==(const iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const iterator& other) const { return !(*this == other); }
+
+   private:
+    friend class TraceShardView;
+    iterator(const std::vector<TraceRecord>* records, std::size_t index,
+             std::uint32_t shard, std::size_t num_shards)
+        : records_(records), index_(index), shard_(shard),
+          num_shards_(num_shards) {
+      skip_to_match();
+    }
+    void skip_to_match() {
+      while (index_ < records_->size() &&
+             (*records_)[index_].user % num_shards_ != shard_) {
+        ++index_;
+      }
+    }
+
+    const std::vector<TraceRecord>* records_;
+    std::size_t index_;
+    std::uint32_t shard_;
+    std::size_t num_shards_;
+  };
+
+  iterator begin() const {
+    return iterator(&trace_->records(), 0, shard_, num_shards_);
+  }
+  iterator end() const {
+    return iterator(&trace_->records(), trace_->size(), shard_, num_shards_);
+  }
+
+  /// Number of records in the shard (one O(n) counting pass).
+  std::size_t count() const;
+
+ private:
+  const Trace* trace_;
+  std::uint32_t shard_;
+  std::size_t num_shards_;
 };
 
 }  // namespace specpf

@@ -1,0 +1,401 @@
+#include "workload/trace_file.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+#include "util/math.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPECPF_TRACE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SPECPF_TRACE_MMAP 0
+#include <fstream>
+#endif
+
+namespace specpf {
+namespace {
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw std::runtime_error("trace file " + path + ": " + why);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one varint from [p, end). Returns the advanced pointer, or
+/// nullptr on truncation / an encoding wider than 64 bits.
+const std::uint8_t* get_varint(const std::uint8_t* p, const std::uint8_t* end,
+                               std::uint64_t* out) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (p != end) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *out = v;
+      return p;
+    }
+    shift += 7;
+    if (shift >= 64) return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint64_t trace_time_to_micros(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) {
+    throw std::runtime_error(
+        "trace time must be finite and non-negative, got " +
+        std::to_string(seconds));
+  }
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+// ---------------------------------------------------------------------------
+// TraceFileWriter
+
+TraceFileWriter::TraceFileWriter(const std::string& path, Options options)
+    : path_(path), chunk_records_(options.chunk_records) {
+  SPECPF_EXPECTS(chunk_records_ >= 1);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open for write: " + path);
+  }
+  // Placeholder header; finish() seeks back and rewrites it with the real
+  // counts once they are known.
+  TraceFileHeader blank{};
+  std::memcpy(blank.magic, kTraceFileMagic, sizeof(blank.magic));
+  if (std::fwrite(&blank, sizeof(blank), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("write failed: " + path);
+  }
+  // Worst-case record is 3 maximal varints (10 B each).
+  chunk_buf_.reserve(chunk_records_ * 30);
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor cleanup: swallow, the file is already suspect.
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void TraceFileWriter::append(const TraceRecord& record) {
+  SPECPF_EXPECTS(!finished_);
+  const std::uint64_t us = trace_time_to_micros(record.time);
+  if (record_count_ > 0 && us < prev_us_) {
+    throw std::runtime_error(
+        "trace write: time goes backwards at record " +
+        std::to_string(record_count_) + " (" + std::to_string(us) +
+        "us after " + std::to_string(prev_us_) + "us)");
+  }
+  if (chunk_count_ == 0) chunk_base_us_ = us;
+  if (record_count_ == 0) first_us_ = us;
+  // Within a chunk the first delta is against the chunk's own base time,
+  // so chunks decode independently.
+  const std::uint64_t delta = chunk_count_ == 0 ? us - chunk_base_us_
+                                                : us - prev_us_;
+  put_varint(chunk_buf_, delta);
+  put_varint(chunk_buf_, record.user);
+  put_varint(chunk_buf_, record.item);
+  users_.insert(record.user);
+  items_.insert(record.item);
+  prev_us_ = us;
+  ++record_count_;
+  if (++chunk_count_ == chunk_records_) flush_chunk();
+}
+
+void TraceFileWriter::flush_chunk() {
+  if (chunk_count_ == 0) return;
+  SPECPF_ASSERT(chunk_buf_.size() <=
+                std::numeric_limits<std::uint32_t>::max());
+  TraceChunkInfo info{};
+  info.offset = write_offset_;
+  info.bytes = static_cast<std::uint32_t>(chunk_buf_.size());
+  info.records = chunk_count_;
+  info.base_time_us = chunk_base_us_;
+  info.last_time_us = prev_us_;
+  if (std::fwrite(chunk_buf_.data(), 1, chunk_buf_.size(), file_) !=
+      chunk_buf_.size()) {
+    throw std::runtime_error("write failed: " + path_);
+  }
+  index_.push_back(info);
+  write_offset_ += chunk_buf_.size();
+  chunk_buf_.clear();
+  chunk_count_ = 0;
+}
+
+void TraceFileWriter::finish() {
+  if (finished_) return;
+  SPECPF_ASSERT(file_ != nullptr);
+  flush_chunk();
+  TraceFileHeader header{};
+  std::memcpy(header.magic, kTraceFileMagic, sizeof(header.magic));
+  header.version = kTraceFileVersion;
+  header.header_bytes = sizeof(TraceFileHeader);
+  header.record_count = record_count_;
+  header.chunk_count = index_.size();
+  header.chunk_index_offset = write_offset_;
+  header.payload_bytes = write_offset_ - sizeof(TraceFileHeader);
+  header.first_time_us = record_count_ > 0 ? first_us_ : 0;
+  header.last_time_us = record_count_ > 0 ? prev_us_ : 0;
+  header.unique_users = users_.size();
+  header.unique_items = items_.size();
+  header.chunk_target_records = chunk_records_;
+  const bool ok =
+      (index_.empty() ||
+       std::fwrite(index_.data(), sizeof(TraceChunkInfo), index_.size(),
+                   file_) == index_.size()) &&
+      std::fseek(file_, 0, SEEK_SET) == 0 &&
+      std::fwrite(&header, sizeof(header), 1, file_) == 1;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  finished_ = true;
+  if (!ok || !closed) throw std::runtime_error("write failed: " + path_);
+}
+
+std::uint64_t write_trace_file(const std::string& path, TraceSource& source,
+                               TraceFileWriter::Options options) {
+  TraceFileWriter writer(path, options);
+  source.reset();
+  TraceRecord record;
+  while (source.next(&record)) writer.append(record);
+  writer.finish();
+  return writer.records_written();
+}
+
+// ---------------------------------------------------------------------------
+// TraceFile
+
+TraceFile::TraceFile(const std::string& path) : path_(path) {
+#if SPECPF_TRACE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot open for read: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot stat: " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      throw std::runtime_error("mmap failed: " + path);
+    }
+    map_ = map;
+    data_ = static_cast<const std::uint8_t*>(map);
+    // Cursors scan chunk payloads front to back; tell the kernel so
+    // readahead stays aggressive and evicted pages are not re-fetched.
+    ::madvise(map_, size_, MADV_SEQUENTIAL);
+  }
+  ::close(fd);
+#else
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  fallback_.assign(std::istreambuf_iterator<char>(is),
+                   std::istreambuf_iterator<char>());
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+#endif
+
+  if (size_ < sizeof(TraceFileHeader)) {
+    corrupt(path_, "too small for header (" + std::to_string(size_) + " bytes)");
+  }
+  std::memcpy(&header_, data_, sizeof(header_));
+  if (std::memcmp(header_.magic, kTraceFileMagic, sizeof(kTraceFileMagic)) !=
+      0) {
+    corrupt(path_, "bad magic (not an .spt trace)");
+  }
+  if (header_.version != kTraceFileVersion) {
+    corrupt(path_, "unsupported version " + std::to_string(header_.version));
+  }
+  if (header_.header_bytes != sizeof(TraceFileHeader)) {
+    corrupt(path_, "bad header_bytes " + std::to_string(header_.header_bytes));
+  }
+  if (header_.chunk_count >
+      (size_ - sizeof(TraceFileHeader)) / sizeof(TraceChunkInfo)) {
+    corrupt(path_, "chunk count overflows file size");
+  }
+  const std::uint64_t index_bytes =
+      header_.chunk_count * sizeof(TraceChunkInfo);
+  if (header_.chunk_index_offset < sizeof(TraceFileHeader) ||
+      header_.chunk_index_offset + index_bytes != size_) {
+    corrupt(path_, "chunk index does not end at end of file (truncated?)");
+  }
+  if (header_.payload_bytes !=
+      header_.chunk_index_offset - sizeof(TraceFileHeader)) {
+    corrupt(path_, "payload_bytes disagrees with chunk index offset");
+  }
+  if (header_.record_count == 0 &&
+      (header_.chunk_count != 0 || header_.first_time_us != 0 ||
+       header_.last_time_us != 0)) {
+    corrupt(path_, "empty trace with non-empty metadata");
+  }
+  if (header_.record_count > 0 && header_.chunk_count == 0) {
+    corrupt(path_, "records but no chunks");
+  }
+
+  // The index lands at an arbitrary (payload-dependent) offset, so copy it
+  // out rather than aliasing a possibly misaligned mapping.
+  chunks_.resize(header_.chunk_count);
+  if (!chunks_.empty()) {
+    std::memcpy(chunks_.data(), data_ + header_.chunk_index_offset,
+                index_bytes);
+  }
+  std::uint64_t expected_offset = sizeof(TraceFileHeader);
+  std::uint64_t total_records = 0;
+  std::uint64_t prev_last_us = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const TraceChunkInfo& c = chunks_[i];
+    const std::string at = "chunk " + std::to_string(i);
+    if (c.records == 0) corrupt(path_, at + ": zero records");
+    if (c.offset != expected_offset) {
+      corrupt(path_, at + ": payload not contiguous");
+    }
+    if (c.base_time_us > c.last_time_us) {
+      corrupt(path_, at + ": base time after last time");
+    }
+    if (i > 0 && c.base_time_us < prev_last_us) {
+      corrupt(path_, at + ": base time before previous chunk's last");
+    }
+    expected_offset += c.bytes;
+    total_records += c.records;
+    prev_last_us = c.last_time_us;
+  }
+  if (expected_offset != header_.chunk_index_offset) {
+    corrupt(path_, "chunk payloads do not end at chunk index");
+  }
+  if (total_records != header_.record_count) {
+    corrupt(path_, "chunk record counts disagree with header");
+  }
+  if (header_.record_count > 0) {
+    if (chunks_.front().base_time_us != header_.first_time_us ||
+        chunks_.back().last_time_us != header_.last_time_us) {
+      corrupt(path_, "header time span disagrees with chunk index");
+    }
+  }
+}
+
+TraceFile::~TraceFile() {
+#if SPECPF_TRACE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+double TraceFile::duration() const {
+  if (header_.record_count < 2) return 0.0;
+  return trace_micros_to_seconds(header_.last_time_us) -
+         trace_micros_to_seconds(header_.first_time_us);
+}
+
+double TraceFile::mean_request_rate() const {
+  return safe_div(static_cast<double>(header_.record_count), duration(), 0.0);
+}
+
+double TraceFile::bytes_per_record() const {
+  return safe_div(static_cast<double>(header_.payload_bytes),
+                  static_cast<double>(header_.record_count), 0.0);
+}
+
+Trace TraceFile::read_all() const {
+  std::vector<TraceRecord> records;
+  records.reserve(header_.record_count);
+  TraceCursor cursor(*this);
+  TraceRecord r;
+  while (cursor.next(&r)) records.push_back(r);
+  return Trace{std::move(records)};
+}
+
+// ---------------------------------------------------------------------------
+// TraceCursor
+
+TraceCursor::TraceCursor(const TraceFile& file) : file_(&file) {}
+
+TraceCursor::TraceCursor(const TraceFile& file, std::uint32_t shard,
+                         std::uint32_t num_shards)
+    : file_(&file), shard_(shard), num_shards_(num_shards) {
+  SPECPF_EXPECTS(num_shards >= 1);
+  SPECPF_EXPECTS(shard < num_shards);
+}
+
+void TraceCursor::reset() {
+  pos_ = nullptr;
+  end_ = nullptr;
+  next_chunk_ = 0;
+  prev_us_ = 0;
+  decoded_ = 0;
+  remaining_ = 0;
+}
+
+bool TraceCursor::next_raw(TraceRecord* out) {
+  while (remaining_ == 0) {
+    if (next_chunk_ == file_->num_chunks()) return false;
+    const TraceChunkInfo& c = file_->chunk(next_chunk_);
+    pos_ = file_->data() + c.offset;
+    end_ = pos_ + c.bytes;
+    prev_us_ = c.base_time_us;
+    remaining_ = c.records;
+    ++next_chunk_;
+  }
+  std::uint64_t delta = 0;
+  std::uint64_t user = 0;
+  std::uint64_t item = 0;
+  const std::uint8_t* p = get_varint(pos_, end_, &delta);
+  if (p != nullptr) p = get_varint(p, end_, &user);
+  if (p != nullptr) p = get_varint(p, end_, &item);
+  if (p == nullptr) {
+    corrupt(file_->path(), "chunk " + std::to_string(next_chunk_ - 1) +
+                               ": truncated or overlong varint");
+  }
+  if (user > std::numeric_limits<std::uint32_t>::max()) {
+    corrupt(file_->path(), "chunk " + std::to_string(next_chunk_ - 1) +
+                               ": user id exceeds 32 bits");
+  }
+  pos_ = p;
+  prev_us_ += delta;
+  --remaining_;
+  if (remaining_ == 0) {
+    const TraceChunkInfo& c = file_->chunk(next_chunk_ - 1);
+    if (pos_ != end_) {
+      corrupt(file_->path(), "chunk " + std::to_string(next_chunk_ - 1) +
+                                 ": payload length disagrees with index");
+    }
+    if (prev_us_ != c.last_time_us) {
+      corrupt(file_->path(), "chunk " + std::to_string(next_chunk_ - 1) +
+                                 ": decoded end time disagrees with index");
+    }
+  }
+  out->time = trace_micros_to_seconds(prev_us_);
+  out->user = static_cast<std::uint32_t>(user);
+  out->item = item;
+  ++decoded_;
+  return true;
+}
+
+bool TraceCursor::next(TraceRecord* out) {
+  if (num_shards_ == 0) return next_raw(out);
+  while (next_raw(out)) {
+    if (out->user % num_shards_ == shard_) return true;
+  }
+  return false;
+}
+
+}  // namespace specpf

@@ -1,0 +1,215 @@
+// Compact binary trace format (".spt" — speculative-prefetch trace) and its
+// out-of-core reader. This is the on-disk half of the streaming trace
+// pipeline: billion-request traces live in a file at ~5-7 bytes/record
+// (vs 24 B/record for the in-RAM std::vector<TraceRecord>) and are replayed
+// through an mmap'd zero-copy cursor instead of being materialized.
+//
+// File layout (all integers little-endian, the only byte order the targets
+// in CI and the container run):
+//
+//   ┌────────────────────────────────────────────────────────────┐
+//   │ TraceFileHeader (96 B)                                     │
+//   │   magic "SPTRACE1", version, record/chunk counts,          │
+//   │   chunk-index offset, time span (µs), unique users/items   │
+//   ├────────────────────────────────────────────────────────────┤
+//   │ chunk 0 payload │ chunk 1 payload │ ... (contiguous)       │
+//   │   per record: varint Δtime_µs, varint user, varint item    │
+//   ├────────────────────────────────────────────────────────────┤
+//   │ chunk index: TraceChunkInfo[chunk_count] (32 B each)       │
+//   │   {payload offset, bytes, records, first/last time µs}     │
+//   └────────────────────────────────────────────────────────────┘
+//
+// Timestamps are quantized to integer microseconds (≤ 0.5 µs error) and
+// delta-encoded within a chunk: the first record's delta is taken against
+// the chunk's own base_time_us, so every chunk decodes independently —
+// that is what makes the index "per-shard partitionable": a cursor can
+// skip straight to any chunk without decoding its predecessors. Decoding
+// is canonical: decode(encode(decode(x))) == decode(x) exactly, which the
+// replay differential tests lean on for bit-identity.
+//
+// Validation philosophy: the writer enforces its invariants with
+// SPECPF_EXPECTS (caller bugs), while TraceFile/TraceCursor treat the file
+// as untrusted input and throw std::runtime_error with the offending
+// offset/chunk on any structural violation — a truncated or bit-flipped
+// trace fails loudly at open or at the first corrupt chunk, never by
+// feeding garbage records into a simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_stream.hpp"
+
+namespace specpf {
+
+inline constexpr char kTraceFileMagic[8] = {'S', 'P', 'T', 'R',
+                                            'A', 'C', 'E', '1'};
+inline constexpr std::uint32_t kTraceFileVersion = 1;
+inline constexpr std::size_t kTraceDefaultChunkRecords = 1u << 16;
+
+/// Converts a trace timestamp to the file's microsecond grid (llround —
+/// ties away from zero, error ≤ 0.5 µs). Times must be finite and ≥ 0.
+std::uint64_t trace_time_to_micros(double seconds);
+
+/// Inverse grid mapping. micros * 1e-6 is a single rounding, so the value
+/// is deterministic and decode is idempotent under re-encode.
+inline double trace_micros_to_seconds(std::uint64_t micros) {
+  return static_cast<double>(micros) * 1e-6;
+}
+
+struct TraceFileHeader {
+  char magic[8];                     ///< "SPTRACE1"
+  std::uint32_t version;             ///< kTraceFileVersion
+  std::uint32_t header_bytes;        ///< sizeof(TraceFileHeader)
+  std::uint64_t record_count;        ///< total records across all chunks
+  std::uint64_t chunk_count;         ///< entries in the chunk index
+  std::uint64_t chunk_index_offset;  ///< file offset of the chunk index
+  std::uint64_t payload_bytes;       ///< sum of chunk payload bytes
+  std::uint64_t first_time_us;       ///< first record time (0 if empty)
+  std::uint64_t last_time_us;        ///< last record time (0 if empty)
+  std::uint64_t unique_users;
+  std::uint64_t unique_items;
+  std::uint64_t chunk_target_records;  ///< writer's records-per-chunk target
+  std::uint64_t reserved;              ///< zero
+};
+static_assert(sizeof(TraceFileHeader) == 96, "header layout is part of the format");
+
+struct TraceChunkInfo {
+  std::uint64_t offset;        ///< file offset of the chunk payload
+  std::uint32_t bytes;         ///< payload length
+  std::uint32_t records;       ///< records encoded in the payload (> 0)
+  std::uint64_t base_time_us;  ///< time of the chunk's first record
+  std::uint64_t last_time_us;  ///< time of the chunk's last record
+};
+static_assert(sizeof(TraceChunkInfo) == 32, "chunk-index layout is part of the format");
+
+/// Streaming writer: append records in non-decreasing time order, then
+/// finish() (writes the chunk index and rewrites the header in place).
+/// Appends never buffer more than one chunk, so converting a
+/// billion-request stream runs at bounded RSS (plus the unique-user/item
+/// tracking sets, which scale with the catalog, not the trace length).
+struct TraceWriteOptions {
+  std::size_t chunk_records = kTraceDefaultChunkRecords;  ///< ≥ 1
+};
+
+class TraceFileWriter {
+ public:
+  using Options = TraceWriteOptions;
+
+  explicit TraceFileWriter(const std::string& path, Options options = {});
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  /// Appends one record. Throws std::runtime_error if its time regresses
+  /// (the format stores non-negative deltas) or is not a finite value ≥ 0.
+  void append(const TraceRecord& record);
+
+  /// Flushes the tail chunk, writes the index, rewrites the header, and
+  /// closes the file. Idempotent; also invoked by the destructor.
+  void finish();
+
+  std::uint64_t records_written() const { return record_count_; }
+
+ private:
+  void flush_chunk();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t chunk_records_;
+  std::vector<std::uint8_t> chunk_buf_;
+  std::vector<TraceChunkInfo> index_;
+  FlatHashSet users_;
+  FlatHashSet items_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t write_offset_ = sizeof(TraceFileHeader);
+  std::uint64_t first_us_ = 0;
+  std::uint64_t prev_us_ = 0;        ///< last appended time (delta base)
+  std::uint64_t chunk_base_us_ = 0;  ///< first time of the open chunk
+  std::uint32_t chunk_count_ = 0;    ///< records in the open chunk
+  bool finished_ = false;
+};
+
+/// Drains `source` (after reset()) into a new trace file; returns the
+/// record count. The streaming counterpart of "save_csv then convert".
+std::uint64_t write_trace_file(const std::string& path, TraceSource& source,
+                               TraceFileWriter::Options options = {});
+
+/// An opened, structurally validated trace file. The payload is mmap'd
+/// read-only with MADV_SEQUENTIAL (falling back to a heap read where mmap
+/// is unavailable); cursors decode straight out of the mapping.
+class TraceFile {
+ public:
+  explicit TraceFile(const std::string& path);
+  ~TraceFile();
+
+  TraceFile(const TraceFile&) = delete;
+  TraceFile& operator=(const TraceFile&) = delete;
+
+  const TraceFileHeader& header() const { return header_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t record_count() const { return header_.record_count; }
+  std::size_t num_chunks() const { return chunks_.size(); }
+  const TraceChunkInfo& chunk(std::size_t i) const { return chunks_[i]; }
+  const std::uint8_t* data() const { return data_; }
+  std::uint64_t file_bytes() const { return size_; }
+
+  double first_time() const { return trace_micros_to_seconds(header_.first_time_us); }
+  double last_time() const { return trace_micros_to_seconds(header_.last_time_us); }
+  /// last − first on the decoded double grid (0 if < 2 records), matching
+  /// Trace::duration() of the decoded trace bit-for-bit.
+  double duration() const;
+  double mean_request_rate() const;  ///< record_count / duration (0 if degenerate)
+  double bytes_per_record() const;
+
+  /// Decodes the whole file into an in-RAM Trace (the comparison path).
+  Trace read_all() const;
+
+ private:
+  std::string path_;
+  const std::uint8_t* data_ = nullptr;  ///< full file contents
+  std::size_t size_ = 0;
+  void* map_ = nullptr;  ///< mmap base when mapped, else nullptr
+  std::vector<std::uint8_t> fallback_;
+  TraceFileHeader header_{};
+  std::vector<TraceChunkInfo> chunks_;
+};
+
+/// Zero-copy streaming decoder over a TraceFile (which must outlive the
+/// cursor). No allocation after construction; next() is a few varint loads
+/// out of the mapping. An optional shard filter yields only records with
+/// user % num_shards == shard — the per-shard cursor of the sharded
+/// runtime. Cross-checks every chunk boundary (payload length and end
+/// time) against the index and throws std::runtime_error on corruption.
+class TraceCursor final : public TraceSource {
+ public:
+  explicit TraceCursor(const TraceFile& file);
+  TraceCursor(const TraceFile& file, std::uint32_t shard,
+              std::uint32_t num_shards);
+
+  bool next(TraceRecord* out) override;
+  void reset() override;
+
+  std::uint64_t records_decoded() const { return decoded_; }
+
+ private:
+  bool next_raw(TraceRecord* out);
+
+  const TraceFile* file_;
+  const std::uint8_t* pos_ = nullptr;
+  const std::uint8_t* end_ = nullptr;
+  std::size_t next_chunk_ = 0;
+  std::uint64_t prev_us_ = 0;
+  std::uint64_t decoded_ = 0;
+  std::uint32_t remaining_ = 0;  ///< records left in the open chunk
+  std::uint32_t shard_ = 0;
+  std::uint32_t num_shards_ = 0;  ///< 0 = unfiltered
+};
+
+}  // namespace specpf

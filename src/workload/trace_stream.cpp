@@ -1,0 +1,8 @@
+#include "workload/trace_stream.hpp"
+
+namespace specpf {
+
+// Out-of-line vtable anchor so every translation unit shares one vtable.
+TraceSource::~TraceSource() = default;
+
+}  // namespace specpf

@@ -203,6 +203,9 @@ TEST(TracePartition, PartitionByUserPreservesOrderAndCoverage) {
     for (const auto& r : parts[s].records()) {
       EXPECT_EQ(r.user % 8, s);
     }
+    // The non-copying view agrees with the copying partition.
+    EXPECT_EQ(TraceShardView(trace, static_cast<std::uint32_t>(s), 8).count(),
+              parts[s].size());
   }
   EXPECT_EQ(total, trace.size());
 

@@ -7,12 +7,16 @@
 // container layout; any divergence means behaviour changed, not just speed.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "obs/telemetry.hpp"
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
 #include "sim/proxy_sim.hpp"
 #include "sim/trace_replay.hpp"
 #include "workload/synthetic_trace.hpp"
+#include "workload/trace_file.hpp"
 
 namespace specpf {
 namespace {
@@ -418,6 +422,152 @@ TEST(StackDifferential, ShardedReplayTelemetryOnMatchesOff) {
   }
   EXPECT_EQ(sent, on.cross_shard_events);
   EXPECT_EQ(received, on.cross_shard_events);
+}
+
+// --- streamed sources vs in-RAM traces: the out-of-core pipeline ------------
+
+TEST(StackDifferential, TraceReplayStreamedGeneratorMatchesInRam) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  TraceReplayConfig cfg;
+  cfg.bandwidth = 60.0;
+  cfg.cache_capacity = 8;
+
+  ThresholdPolicy ram_policy(core::InteractionModel::kModelA);
+  const ProxySimResult ram = run_trace_replay(trace, cfg, ram_policy);
+
+  // Tiny stream window forces many mid-pass run_until() calls — the
+  // incremental scheduling must not perturb event order.
+  for (std::size_t window : {std::size_t{65536}, std::size_t{7}}) {
+    cfg.stream_window = window;
+    SyntheticTraceStream stream(trace_cfg);
+    ThresholdPolicy stream_policy(core::InteractionModel::kModelA);
+    const ProxySimResult streamed = run_trace_replay(stream, cfg, stream_policy);
+    SCOPED_TRACE("stream_window=" + std::to_string(window));
+    expect_identical(streamed, ram);
+    EXPECT_GT(streamed.requests, 0u);
+  }
+}
+
+TEST(StackDifferential, TraceReplayFileCursorMatchesDecodedInRam) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const std::string path =
+      std::string(::testing::TempDir()) + "differential_replay.spt";
+  {
+    SyntheticTraceStream stream(trace_cfg);
+    TraceWriteOptions options;
+    options.chunk_records = 512;  // several chunk crossings mid-replay
+    write_trace_file(path, stream, options);
+  }
+  const TraceFile file(path);
+  const Trace decoded = file.read_all();
+
+  TraceReplayConfig cfg;
+  cfg.bandwidth = 60.0;
+  cfg.cache_capacity = 8;
+
+  ThresholdPolicy ram_policy(core::InteractionModel::kModelA);
+  const ProxySimResult ram = run_trace_replay(decoded, cfg, ram_policy);
+
+  TraceCursor cursor(file);
+  TelemetryPlane plane;  // telemetry on: observation must stay pure here too
+  cfg.telemetry = &plane;
+  ThresholdPolicy cursor_policy(core::InteractionModel::kModelA);
+  const ProxySimResult streamed = run_trace_replay(cursor, cfg, cursor_policy);
+
+  expect_identical(streamed, ram);
+  EXPECT_GT(streamed.requests, 0u);
+  EXPECT_GT(plane.series().size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(StackDifferential, ShardedReplayStreamedGeneratorMatchesInRam) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 300;
+  trace_cfg.num_requests = 3000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 33;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  ShardedReplayConfig cfg;
+  cfg.stack.bandwidth = 60.0;
+  cfg.stack.cache_capacity = 8;
+  cfg.num_shards = 3;
+  cfg.num_threads = 1;
+  const PolicyFactory factory = [] {
+    return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+  };
+
+  const ShardedReplayResult ram = run_sharded_replay(trace, cfg, factory);
+
+  TelemetryFleet fleet(TelemetryConfig{}, 3);
+  cfg.telemetry = &fleet;
+  SyntheticTraceStream stream(trace_cfg);
+  const ShardedReplayResult streamed = run_sharded_replay(stream, cfg, factory);
+
+  expect_identical(streamed.merged, ram.merged);
+  EXPECT_EQ(streamed.cross_shard_events, ram.cross_shard_events);
+  EXPECT_EQ(streamed.backbone.jobs(), ram.backbone.jobs());
+  ASSERT_EQ(streamed.per_shard.size(), ram.per_shard.size());
+  for (std::size_t s = 0; s < ram.per_shard.size(); ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    expect_identical(streamed.per_shard[s], ram.per_shard[s]);
+  }
+  EXPECT_GT(streamed.merged.requests, 0u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_GT(fleet.shard(s).series().size(), 0u) << "shard " << s;
+  }
+}
+
+TEST(StackDifferential, ShardedReplayFileCursorMatchesDecodedInRam) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 300;
+  trace_cfg.num_requests = 3000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 33;
+  const std::string path =
+      std::string(::testing::TempDir()) + "differential_sharded.spt";
+  {
+    SyntheticTraceStream stream(trace_cfg);
+    TraceWriteOptions options;
+    options.chunk_records = 512;
+    write_trace_file(path, stream, options);
+  }
+  const TraceFile file(path);
+  const Trace decoded = file.read_all();
+
+  ShardedReplayConfig cfg;
+  cfg.stack.bandwidth = 60.0;
+  cfg.stack.cache_capacity = 8;
+  cfg.num_shards = 3;
+  cfg.num_threads = 1;
+  const PolicyFactory factory = [] {
+    return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+  };
+
+  const ShardedReplayResult ram = run_sharded_replay(decoded, cfg, factory);
+
+  TraceCursor cursor(file);
+  const ShardedReplayResult streamed = run_sharded_replay(cursor, cfg, factory);
+
+  expect_identical(streamed.merged, ram.merged);
+  EXPECT_EQ(streamed.cross_shard_events, ram.cross_shard_events);
+  EXPECT_EQ(streamed.backbone.jobs(), ram.backbone.jobs());
+  EXPECT_GT(streamed.merged.requests, 0u);
+  std::remove(path.c_str());
 }
 
 TEST(StackDifferential, TraceReplayFlatMatchesTree) {

@@ -200,6 +200,67 @@ TEST(Trace, RejectsBadHeaderAndRecords) {
   EXPECT_THROW(Trace::load_csv(bad_record), std::runtime_error);
 }
 
+TEST(Trace, LoadCsvRejectsMalformedLinesWithLineNumbers) {
+  const char* cases[] = {
+      "time,user,item\n1.0,2\n",             // missing column
+      "time,user,item\n1.0,2,3,4\n",         // trailing garbage
+      "time,user,item\n1.0,-2,3\n",          // negative user
+      "time,user,item\n1.0,2,-3\n",          // negative item
+      "time,user,item\nnan,2,3\n",           // non-finite time
+      "time,user,item\ninf,2,3\n",
+      "time,user,item\nabc,2,3\n",           // non-numeric time
+      "time,user,item\n2.0,1,1\n1.0,2,2\n",  // time moves backwards
+  };
+  for (const char* text : cases) {
+    std::stringstream ss(text);
+    SCOPED_TRACE(text);
+    try {
+      Trace::load_csv(ss);
+      FAIL() << "expected rejection";
+    } catch (const std::runtime_error& e) {
+      // Every rejection names the offending line (all cases above fail on
+      // line 2 or 3 of the stream).
+      EXPECT_TRUE(std::string(e.what()).find("line") != std::string::npos)
+          << e.what();
+    }
+  }
+  // Equal timestamps are fine (only strict regressions reject).
+  std::stringstream ties("time,user,item\n1.0,1,1\n1.0,2,2\n");
+  EXPECT_EQ(Trace::load_csv(ties).size(), 2u);
+}
+
+TEST(TraceShardViewTest, MatchesPartitionByUser) {
+  Trace trace;
+  Rng rng(41);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.next_double() * 0.1;
+    trace.append({t, static_cast<std::uint32_t>(rng.next_u64() % 50),
+                  rng.next_u64() % 200});
+  }
+  constexpr std::size_t kShards = 7;
+  const auto parts = trace.partition_by_user(kShards);
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    const TraceShardView view(trace, s, kShards);
+    EXPECT_EQ(view.count(), parts[s].size()) << "shard " << s;
+    total += view.count();
+    std::size_t i = 0;
+    for (const TraceRecord& r : view) {
+      ASSERT_LT(i, parts[s].size()) << "shard " << s;
+      EXPECT_DOUBLE_EQ(r.time, parts[s].records()[i].time);
+      EXPECT_EQ(r.user, parts[s].records()[i].user);
+      EXPECT_EQ(r.item, parts[s].records()[i].item);
+      ++i;
+    }
+    EXPECT_EQ(i, parts[s].size()) << "shard " << s;
+  }
+  EXPECT_EQ(total, trace.size());
+  // A 1-way view walks the whole trace.
+  const TraceShardView whole(trace, 0, 1);
+  EXPECT_EQ(whole.count(), trace.size());
+}
+
 TEST(Trace, Statistics) {
   Trace trace;
   trace.append({0.0, 0, 5});
@@ -263,6 +324,29 @@ TEST(SyntheticTrace, DeterministicPerSeed) {
               a.records()[i].user != c.records()[i].user;
   }
   EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTraceStreamTest, MatchesMaterializedTraceAndReplaysOnReset) {
+  SyntheticTraceConfig cfg;
+  cfg.num_users = 150;
+  cfg.num_requests = 2500;
+  cfg.request_rate = 40.0;
+  cfg.seed = 37;
+  const Trace trace = generate_synthetic_trace(cfg);
+
+  SyntheticTraceStream stream(cfg);
+  TraceRecord r;
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE("pass " + std::to_string(pass));
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      ASSERT_TRUE(stream.next(&r)) << "record " << i;
+      EXPECT_DOUBLE_EQ(r.time, trace.records()[i].time) << "record " << i;
+      EXPECT_EQ(r.user, trace.records()[i].user) << "record " << i;
+      EXPECT_EQ(r.item, trace.records()[i].item) << "record " << i;
+    }
+    EXPECT_FALSE(stream.next(&r));  // exhausted at num_requests
+    stream.reset();                 // second pass replays identically
+  }
 }
 
 TEST(SyntheticTrace, PerUserSequencesFollowTheSessionGraph) {
