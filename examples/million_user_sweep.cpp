@@ -42,6 +42,7 @@
 #include "util/argparse.hpp"
 #include "util/mem.hpp"
 #include "util/table.hpp"
+#include "workload/progress_source.hpp"
 #include "workload/synthetic_trace.hpp"
 #include "workload/trace_file.hpp"
 
@@ -144,6 +145,9 @@ int main(int argc, char** argv) {
                 "write the selected source to this CSV path and exit");
   args.add_flag("stream-window", "65536",
                 "records scheduled per engine batch on streamed replays");
+  args.add_flag("progress", "false",
+                "print a wall-clock heartbeat (records fed, req/s, peak RSS) "
+                "to stderr while the replay streams");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string trace_path = args.get_string("trace");
@@ -251,6 +255,21 @@ int main(int argc, char** argv) {
   const auto shards = static_cast<std::size_t>(args.get_int("shards"));
   const auto threads = static_cast<std::size_t>(args.get_int("threads"));
 
+  // --progress wraps whatever supply was selected in the heartbeat
+  // decorator; in-RAM traces go through a TraceVectorSource view so they
+  // can be decorated too (bit-identical to the Trace overload, which wraps
+  // the same way internally).
+  std::unique_ptr<TraceVectorSource> ram_view;
+  std::unique_ptr<ProgressTraceSource> progress;
+  if (args.get_bool("progress")) {
+    TraceSource* inner = stream.get();
+    if (inner == nullptr) {
+      ram_view = std::make_unique<TraceVectorSource>(*ram);
+      inner = ram_view.get();
+    }
+    progress = std::make_unique<ProgressTraceSource>(*inner, "replay");
+  }
+
   TraceReplayConfig replay_cfg;
   replay_cfg.bandwidth = args.get_double("bandwidth");
   replay_cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
@@ -281,8 +300,9 @@ int main(int argc, char** argv) {
         replay_cfg.telemetry = plane.get();
       }
       auto policy = factory();
-      r = ram ? run_trace_replay(*ram, replay_cfg, *policy)
-              : run_trace_replay(*stream, replay_cfg, *policy);
+      r = progress ? run_trace_replay(*progress, replay_cfg, *policy)
+          : ram    ? run_trace_replay(*ram, replay_cfg, *policy)
+                   : run_trace_replay(*stream, replay_cfg, *policy);
       replay_cfg.telemetry = nullptr;
     } else {
       ShardedReplayConfig sharded_cfg;
@@ -296,8 +316,9 @@ int main(int argc, char** argv) {
         sharded_cfg.telemetry = fleet.get();
       }
       const ShardedReplayResult sr =
-          ram ? run_sharded_replay(*ram, sharded_cfg, factory)
-              : run_sharded_replay(*stream, sharded_cfg, factory);
+          progress ? run_sharded_replay(*progress, sharded_cfg, factory)
+          : ram    ? run_sharded_replay(*ram, sharded_cfg, factory)
+                   : run_sharded_replay(*stream, sharded_cfg, factory);
       r = sr.merged;
       backbone_jobs = sr.backbone.jobs();
       if (args.get_bool("per-shard-stats")) {

@@ -24,6 +24,7 @@
 #include "util/argparse.hpp"
 #include "util/mem.hpp"
 #include "util/table.hpp"
+#include "workload/progress_source.hpp"
 #include "workload/synthetic_trace.hpp"
 #include "workload/trace_file.hpp"
 
@@ -101,6 +102,9 @@ int main(int argc, char** argv) {
   args.add_flag("trace-file", "",
                 "replay a binary .spt trace via the mmap'd cursor instead "
                 "of generating one");
+  args.add_flag("progress", "false",
+                "print a wall-clock heartbeat (records fed, req/s, peak RSS) "
+                "to stderr while each run streams");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string trace_path = args.get_string("trace");
@@ -152,6 +156,20 @@ int main(int argc, char** argv) {
                 ram->unique_users(), ram->duration());
   }
 
+  // --progress wraps the selected supply in the heartbeat decorator
+  // (in-RAM traces through a TraceVectorSource view — bit-identical to the
+  // Trace overload, which wraps the same way internally).
+  std::unique_ptr<TraceVectorSource> ram_view;
+  std::unique_ptr<ProgressTraceSource> progress;
+  if (args.get_bool("progress")) {
+    TraceSource* inner = stream.get();
+    if (inner == nullptr) {
+      ram_view = std::make_unique<TraceVectorSource>(*ram);
+      inner = ram_view.get();
+    }
+    progress = std::make_unique<ProgressTraceSource>(*inner, "sharded-replay");
+  }
+
   ShardedReplayConfig cfg;
   cfg.stack.bandwidth = args.get_double("bandwidth");
   cfg.stack.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
@@ -191,8 +209,9 @@ int main(int argc, char** argv) {
     const MemoryUsage mem_before = read_memory_usage();
     t0 = Clock::now();
     const ShardedReplayResult r =
-        ram ? run_sharded_replay(*ram, cfg, factory)
-            : run_sharded_replay(*stream, cfg, factory);
+        progress ? run_sharded_replay(*progress, cfg, factory)
+        : ram    ? run_sharded_replay(*ram, cfg, factory)
+                 : run_sharded_replay(*stream, cfg, factory);
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
     cfg.telemetry = nullptr;
     if (telemetry_on && !trace_path.empty() &&

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,15 @@ class PrefetchGovernor {
   /// plane at its own cadence; never consulted on the admission path.
   virtual double state_gauge() const { return 0.0; }
 
+  /// The configured primary knob — the governor's "aggressiveness" axis in
+  /// stability sweeps (token → refill rate, aimd → slowdown setpoint,
+  /// conf → full-depth precision bound). Noop (and the default) reports
+  /// +inf: fully permissive, no configured ceiling. Pure read of
+  /// construction-time config; never changes over a run.
+  virtual double aggressiveness() const {
+    return std::numeric_limits<double>::infinity();
+  }
+
   /// Fleet aggregate pushed back by the sharded driver at the barrier
   /// (canonical order, driver thread — the only cross-shard mutation).
   void set_fleet_signal(double signal) noexcept { fleet_signal_ = signal; }
@@ -137,6 +147,7 @@ class TokenBucketGovernor final : public PrefetchGovernor {
              double size, const LoadSignals& load) override;
 
   double tokens(std::size_t group) const { return buckets_[group].tokens; }
+  double aggressiveness() const override { return rate_; }
 
   /// Mean token level across groups, as of each bucket's last refill (no
   /// clock access, so sampling cannot perturb refill arithmetic).
@@ -166,6 +177,7 @@ class AimdGovernor final : public PrefetchGovernor {
 
   double theta() const noexcept { return theta_; }
   double state_gauge() const override { return theta_; }
+  double aggressiveness() const override { return config_.aimd_setpoint; }
 
  private:
   void maybe_adjust(double now, double slowdown);
@@ -191,6 +203,7 @@ class ConfidenceGovernor final : public PrefetchGovernor {
 
   double precision() const noexcept { return precision_.value(); }
   double state_gauge() const override { return precision_.value(); }
+  double aggressiveness() const override { return config_.conf_high; }
 
  private:
   GovernorConfig config_;

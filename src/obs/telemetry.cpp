@@ -31,12 +31,17 @@ TelemetryRegistry::CounterId TelemetryRegistry::register_counter(
 }
 
 TelemetryRegistry::GaugeId TelemetryRegistry::register_gauge(
-    std::string name) {
+    std::string name, std::string unit) {
   SPECPF_EXPECTS(!name.empty());
   SPECPF_EXPECTS(find_name(gauge_names_, name) == gauge_names_.size());
   gauge_names_.push_back(std::move(name));
+  gauge_units_.push_back(std::move(unit));
   gauges_.push_back(0.0);
   return static_cast<GaugeId>(gauges_.size() - 1);
+}
+
+std::size_t TelemetryRegistry::find_gauge(const std::string& name) const {
+  return find_name(gauge_names_, name);
 }
 
 void TelemetryRegistry::merge(const TelemetryRegistry& other) {
@@ -50,7 +55,7 @@ void TelemetryRegistry::merge(const TelemetryRegistry& other) {
   for (std::size_t i = 0; i < other.gauges_.size(); ++i) {
     const std::size_t at = find_name(gauge_names_, other.gauge_names_[i]);
     if (at == gauge_names_.size()) {
-      register_gauge(other.gauge_names_[i]);
+      register_gauge(other.gauge_names_[i], other.gauge_units_[i]);
     }
     gauges_[at] = std::max(gauges_[at], other.gauges_[i]);
   }
@@ -64,6 +69,10 @@ void TelemetryRegistry::audit(AuditReport& report) const {
                    ") desynced");
   report.check(gauges_.size() == gauge_names_.size(),
                "gauge slots (" + std::to_string(gauges_.size()) +
+                   ") and names (" + std::to_string(gauge_names_.size()) +
+                   ") desynced");
+  report.check(gauge_units_.size() == gauge_names_.size(),
+               "gauge units (" + std::to_string(gauge_units_.size()) +
                    ") and names (" + std::to_string(gauge_names_.size()) +
                    ") desynced");
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {

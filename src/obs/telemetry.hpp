@@ -63,8 +63,10 @@ class TelemetryRegistry {
   using GaugeId = std::uint32_t;
 
   /// Setup only (allocates). Names must be unique within their kind.
+  /// `unit` annotates a gauge for exporters ("jobs", "ratio", "items");
+  /// empty is allowed but the stack registers every gauge with one.
   CounterId register_counter(std::string name);
-  GaugeId register_gauge(std::string name);
+  GaugeId register_gauge(std::string name, std::string unit = {});
 
   /// Hot path: one indexed add / store into preallocated slots.
   void add(CounterId id, std::uint64_t n = 1) noexcept {
@@ -81,6 +83,10 @@ class TelemetryRegistry {
     return counter_names_[i];
   }
   const std::string& gauge_name(std::size_t i) const { return gauge_names_[i]; }
+  const std::string& gauge_unit(std::size_t i) const { return gauge_units_[i]; }
+  /// Gauge index for `name`, or gauge_count() when unregistered (cold
+  /// path: detector attachment, exporters).
+  std::size_t find_gauge(const std::string& name) const;
   /// The gauge block the recorder snapshots (index = GaugeId).
   const std::vector<double>& gauge_values() const noexcept { return gauges_; }
 
@@ -106,6 +112,7 @@ class TelemetryRegistry {
   std::vector<double> gauges_;
   std::vector<std::string> counter_names_;
   std::vector<std::string> gauge_names_;
+  std::vector<std::string> gauge_units_;
 };
 
 /// Fixed-capacity time series over the registry's gauge block. Storage is

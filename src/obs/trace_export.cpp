@@ -54,12 +54,19 @@ void write_metadata(std::FILE* f, EventList& events, std::uint32_t pid,
 
 struct ColumnIndex {
   std::vector<std::string> names;
+  std::vector<std::string> units;
 
-  std::size_t intern(const std::string& name) {
+  std::size_t intern(const std::string& name, const std::string& unit) {
     for (std::size_t i = 0; i < names.size(); ++i) {
-      if (names[i] == name) return i;
+      if (names[i] == name) {
+        // First non-empty unit wins (shards register identical units; a
+        // unitless registrant never erases an annotated one).
+        if (units[i].empty()) units[i] = unit;
+        return i;
+      }
     }
     names.push_back(name);
+    units.push_back(unit);
     return names.size() - 1;
   }
   std::size_t find(const std::string& name) const {
@@ -148,13 +155,21 @@ bool write_timeseries_csv(const std::string& path,
   for (std::size_t s = 0; s < n; ++s) {
     const TelemetryRegistry& reg = planes[s]->registry();
     for (std::size_t g = 0; g < reg.gauge_count(); ++g) {
-      columns.intern(reg.gauge_name(g));
+      columns.intern(reg.gauge_name(g), reg.gauge_unit(g));
     }
   }
 
   std::fputs("shard,time", f);
   for (const std::string& name : columns.names) {
     std::fprintf(f, ",%s", name.c_str());
+  }
+  std::fputc('\n', f);
+  // Units metadata row ("#units" in the shard column, "s" for sim time,
+  // then each gauge column's registered unit) — consumers no longer guess
+  // units from names; tools/check_trace validates the row.
+  std::fputs("#units,s", f);
+  for (const std::string& unit : columns.units) {
+    std::fprintf(f, ",%s", unit.c_str());
   }
   std::fputc('\n', f);
 

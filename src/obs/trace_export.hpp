@@ -9,7 +9,9 @@
 //                             sim-seconds scaled to microseconds.
 //   * write_timeseries_csv  — flat CSV of every shard's sampled gauge
 //                             rows (shard, time, <gauge columns>), for
-//                             plotting outside a trace viewer.
+//                             plotting outside a trace viewer. A "#units"
+//                             metadata row after the header carries each
+//                             column's registered unit.
 //
 // Both are cold-path, end-of-run writers; they never run inside the
 // simulation and hold no state.
@@ -31,7 +33,8 @@ bool write_chrome_trace(const std::string& path, const TelemetryFleet& fleet);
 
 /// Writes every shard's sampled time series as CSV. Columns are the union
 /// of all shards' gauge names in first-seen (canonical shard) order; a
-/// shard without some gauge leaves that cell empty.
+/// shard without some gauge leaves that cell empty. The second line is a
+/// "#units" metadata row giving each column's registered unit.
 bool write_timeseries_csv(const std::string& path,
                           const TelemetryPlane* const* planes, std::size_t n);
 bool write_timeseries_csv(const std::string& path,

@@ -7,6 +7,7 @@
 
 #include "control/governor.hpp"
 #include "des/simulator.hpp"
+#include "obs/divergence.hpp"
 #include "shard/mailbox.hpp"
 #include "sim/stack_runtime.hpp"
 #include "util/contract.hpp"
@@ -22,9 +23,13 @@ void ShardedReplayConfig::validate() const {
   SPECPF_EXPECTS(num_shards >= 1);
   SPECPF_EXPECTS(backbone_latency > 0.0);
   SPECPF_EXPECTS(backbone_bandwidth > 0.0);
-  // Sharded telemetry goes through the fleet, one plane per shard.
+  // Sharded telemetry goes through the fleet, one plane per shard; the
+  // detector likewise attaches fleet-wide through this config.
   SPECPF_EXPECTS(stack.telemetry == nullptr);
+  SPECPF_EXPECTS(stack.divergence == nullptr);
   SPECPF_EXPECTS(telemetry == nullptr || telemetry->size() == num_shards);
+  SPECPF_EXPECTS(divergence == nullptr || telemetry != nullptr);
+  SPECPF_EXPECTS(!abort_on_divergence || divergence != nullptr);
 }
 
 // One region: an independent engine plus its data plane. `runtime` is null
@@ -152,10 +157,11 @@ void ShardedSim::init(TraceSource& source, const PolicyFactory& make_policy) {
       // runtime seals the plane); the driver refreshes them at barriers.
       shard->telemetry = &config_.telemetry->shard(s);
       TelemetryRegistry& reg = shard->telemetry->registry();
-      shard->g_origin_queue = reg.register_gauge("origin.queue_depth");
-      shard->g_origin_util = reg.register_gauge("origin.util_ewma");
-      shard->g_origin_depth = reg.register_gauge("origin.depth_ewma");
-      shard->g_origin_slowdown = reg.register_gauge("origin.slowdown_ewma");
+      shard->g_origin_queue = reg.register_gauge("origin.queue_depth", "jobs");
+      shard->g_origin_util = reg.register_gauge("origin.util_ewma", "ratio");
+      shard->g_origin_depth = reg.register_gauge("origin.depth_ewma", "jobs");
+      shard->g_origin_slowdown =
+          reg.register_gauge("origin.slowdown_ewma", "ratio");
     }
 
     if (shard->scan_count == 0) {
@@ -219,6 +225,20 @@ void ShardedSim::init(TraceSource& source, const PolicyFactory& make_policy) {
     // With no warmup prefix, measurement must be live before the feeder
     // delivers the first request.
     if (warmup_records_ == 0) shard->runtime->begin_measurement();
+  }
+
+  // Attach the fleet detector now that every shard's plane is sealed. One
+  // detector watching all planes under per-shard name prefixes makes the
+  // fleet verdict the worst shard's with no extra merge step.
+  if (config_.divergence != nullptr) {
+    DivergenceDetector& det = *config_.divergence;
+    if (!det.configured()) det.configure(DivergenceConfig{});
+    if (det.num_signals() == 0) {
+      for (std::uint32_t s = 0; s < S; ++s) {
+        det.watch_plane(*shards_[s]->telemetry,
+                        "shard" + std::to_string(s) + "/");
+      }
+    }
   }
 
   // Prime the feeder; records flow into the engines epoch-by-epoch during
@@ -396,6 +416,7 @@ ShardedReplayResult ShardedSim::run() {
   // driver's — which also fast-forwards through idle stretches instead of
   // spinning fixed-width windows over them.
   const double lookahead = config_.backbone_latency;
+  bool aborted = false;
   for (;;) {
     double t_min = fleet_next_event_time();
     if (have_pending_) {
@@ -411,6 +432,16 @@ ShardedReplayResult ShardedSim::run() {
     exchange_mailboxes();
     exchange_setpoints();
     sample_telemetry(t_min + lookahead);
+    // Epoch barriers are the fleet detector's evaluation instants: the
+    // forced sample above just refreshed every shard's gauge rows, and the
+    // driver thread owns all state here. Pure observation unless abort is
+    // armed.
+    if (config_.divergence != nullptr &&
+        config_.divergence->evaluate() == StabilityVerdict::kDivergent &&
+        config_.abort_on_divergence) {
+      aborted = true;
+      break;
+    }
     if constexpr (kAuditBuild) {
       // Epoch-barrier sweep, sampled at power-of-two epochs so the audit
       // cost stays logarithmic in run length; every shard's whole slice
@@ -422,6 +453,19 @@ ShardedReplayResult ShardedSim::run() {
     }
   }
   if constexpr (kAuditBuild) audit_fleet();  // final sweep before merging
+  // Post-drain verdict refresh (no-op after an abort: evaluate() skips
+  // signals with no rows newer than their cursor).
+  if (config_.divergence != nullptr) config_.divergence->evaluate();
+
+  if (aborted) {
+    // The scheduled end_time_ horizon snapshots never ran: snapshot every
+    // shard at the abort barrier instead, driver thread, canonical order,
+    // so the merge below covers the simulated prefix.
+    for (auto& shard : shards_) {
+      if (shard->runtime) shard->horizon = shard->runtime->snapshot_server();
+      shard->backbone_horizon = shard->origin->stats();
+    }
+  }
 
   // Merge in canonical shard order (0..S-1), on this thread.
   ShardedReplayResult out;

@@ -61,6 +61,21 @@ struct ShardedReplayConfig {
   /// plane cannot serve S independent engines.
   class TelemetryFleet* telemetry = nullptr;
 
+  /// Fleet divergence detector (borrowed; must outlive the run). Requires
+  /// `telemetry`: init() attaches it to every shard's sealed plane under a
+  /// "shard<s>/" signal-name prefix, so the fleet verdict is naturally the
+  /// worst shard's. Evaluated on the driver thread at every epoch barrier
+  /// right after the forced telemetry sample, plus once after the loop
+  /// drains. Pure observation — bit-identical results with this null or
+  /// installed — unless `abort_on_divergence` is also set.
+  /// `stack.divergence` must stay null here, same as `stack.telemetry`.
+  class DivergenceDetector* divergence = nullptr;
+  /// Stop the epoch loop as soon as the fleet verdict turns divergent:
+  /// horizon stats are snapshotted at the abort barrier on the driver
+  /// thread (canonical shard order) instead of simulating every shard's
+  /// exploding queue out to the trace horizon.
+  bool abort_on_divergence = false;
+
   void validate() const;
 };
 

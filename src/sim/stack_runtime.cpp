@@ -62,17 +62,18 @@ void StackRuntime::setup_telemetry() {
   tele_.prefetch_deferred = reg.register_counter("pf.deferred");
   tele_.prefetch_throttled = reg.register_counter("pf.throttled");
   tele_.wasted_evictions = reg.register_counter("cache.wasted_evictions");
-  tele_.link_queue = reg.register_gauge("link.queue_depth");
-  tele_.link_util = reg.register_gauge("link.util_ewma");
-  tele_.link_depth_ewma = reg.register_gauge("link.depth_ewma");
-  tele_.link_slowdown = reg.register_gauge("link.slowdown_ewma");
-  tele_.gov_state = reg.register_gauge("gov.state");
-  tele_.gov_depth_limit = reg.register_gauge("gov.depth_limit");
-  tele_.inflight_demand = reg.register_gauge("inflight.demand");
-  tele_.inflight_prefetch = reg.register_gauge("inflight.prefetch");
-  tele_.cache_residents = reg.register_gauge("cache.residents");
-  tele_.pred_contexts = reg.register_gauge("pred.contexts");
-  tele_.pred_halvings = reg.register_gauge("pred.halvings");
+  tele_.link_queue = reg.register_gauge("link.queue_depth", "jobs");
+  tele_.link_util = reg.register_gauge("link.util_ewma", "ratio");
+  tele_.link_depth_ewma = reg.register_gauge("link.depth_ewma", "jobs");
+  tele_.link_slowdown = reg.register_gauge("link.slowdown_ewma", "ratio");
+  tele_.gov_state = reg.register_gauge("gov.state", "state");
+  tele_.gov_depth_limit = reg.register_gauge("gov.depth_limit", "items");
+  tele_.inflight_demand = reg.register_gauge("inflight.demand", "transfers");
+  tele_.inflight_prefetch =
+      reg.register_gauge("inflight.prefetch", "transfers");
+  tele_.cache_residents = reg.register_gauge("cache.residents", "items");
+  tele_.pred_contexts = reg.register_gauge("pred.contexts", "contexts");
+  tele_.pred_halvings = reg.register_gauge("pred.halvings", "count");
   // Gauge refresh runs only at sample instants (cold relative to the
   // request path) and reads state the runtime already maintains — no
   // fleet-wide walks, no mutation, no allocation.

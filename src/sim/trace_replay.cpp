@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "des/simulator.hpp"
+#include "obs/divergence.hpp"
 #include "sim/stack_runtime.hpp"
 #include "util/contract.hpp"
 #include "util/math.hpp"
@@ -17,6 +18,10 @@ void TraceReplayConfig::validate() const {
   SPECPF_EXPECTS(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
   SPECPF_EXPECTS(governor.empty() || is_governor_name(governor));
   SPECPF_EXPECTS(stream_window >= 1);
+  // The detector reads gauge streams; without a plane there is nothing to
+  // watch, and aborting needs a verdict to abort on.
+  SPECPF_EXPECTS(divergence == nullptr || telemetry != nullptr);
+  SPECPF_EXPECTS(!abort_on_divergence || divergence != nullptr);
   // Replay has no generating graph for the oracle to read.
   SPECPF_EXPECTS(predictor_kind != PredictorKind::kOracle);
 }
@@ -93,6 +98,15 @@ ProxySimResult run_trace_replay(TraceSource& source,
   Simulator sim;
   StackRuntime runtime(sim, *predictor, policy, std::move(runtime_config));
 
+  // Attach the divergence detector to the (now sealed) plane. Callers may
+  // pre-configure thresholds and hand-pick signals; a bare detector gets
+  // defaults and the standard gauge set.
+  DivergenceDetector* detector = config.divergence;
+  if (detector != nullptr) {
+    if (!detector->configured()) detector->configure(DivergenceConfig{});
+    if (detector->num_signals() == 0) detector->watch_plane(*config.telemetry);
+  }
+
   // Shift the trace so the first request fires at t = 0.
   const double t0 = first_time;
   const std::size_t warmup_records = static_cast<std::size_t>(
@@ -110,6 +124,7 @@ ProxySimResult run_trace_replay(TraceSource& source,
   // shorter than stream_window) degenerates to the original bulk
   // schedule-everything-then-run replay, event for event.
   source.reset();
+  bool aborted = false;
   {
     TraceRecord r;
     std::size_t index = 0;
@@ -120,6 +135,15 @@ ProxySimResult run_trace_replay(TraceSource& source,
         // run_until leaves sim.now() at `when`'s predecessor window edge;
         // arrivals are non-decreasing, so scheduling stays legal.
         sim.run_until(when);
+        // Window boundaries are the detector's evaluation instants: the
+        // engine has just caught up to real arrivals, so the gauge streams
+        // are current. Pure observation unless abort is armed.
+        if (detector != nullptr &&
+            detector->evaluate() == StabilityVerdict::kDivergent &&
+            config.abort_on_divergence) {
+          aborted = true;
+          break;
+        }
       }
       if (warmup_records > 0 && index == warmup_records) {
         sim.schedule_at(when, [&runtime] { runtime.begin_measurement(); });
@@ -132,11 +156,21 @@ ProxySimResult run_trace_replay(TraceSource& source,
     }
   }
 
-  const double end_time = last_time - t0;
   ServerStats horizon_stats;
-  sim.schedule_at(end_time, [&] { horizon_stats = runtime.snapshot_server(); });
+  if (aborted) {
+    // The verdict latched mid-trace: stop feeding records and snapshot the
+    // server at the abort instant instead of simulating the exploding
+    // queue out to the horizon. Already-scheduled work still drains below
+    // so the result's completion metrics are well-formed for the prefix.
+    horizon_stats = runtime.snapshot_server();
+  } else {
+    const double end_time = last_time - t0;
+    sim.schedule_at(end_time,
+                    [&] { horizon_stats = runtime.snapshot_server(); });
+  }
 
   sim.run();  // replay the tail window and drain
+  if (detector != nullptr) detector->evaluate();  // final post-drain verdict
   return runtime.finalize(horizon_stats, policy.name());
 }
 

@@ -75,6 +75,23 @@ struct TraceReplayConfig {
   /// serve S independent engines).
   class TelemetryPlane* telemetry = nullptr;
 
+  /// Online divergence detector (obs/divergence.hpp; borrowed, must
+  /// outlive the run). Requires `telemetry`: the replay attaches it to the
+  /// sealed plane (configuring it with defaults and watching the standard
+  /// gauge set if the caller did neither) and evaluates it on the driver
+  /// thread at every stream-window boundary plus once after the drain.
+  /// Pure observation — results are bit-identical with this null or
+  /// installed — unless `abort_on_divergence` is also set. The sharded
+  /// driver takes its detector through its own config and requires this to
+  /// stay null.
+  class DivergenceDetector* divergence = nullptr;
+  /// Terminate the replay as soon as the detector's verdict turns
+  /// divergent: stop scheduling records and snapshot server stats at the
+  /// abort instant instead of simulating an exploding queue to the
+  /// horizon. The result then covers only the simulated prefix; callers
+  /// read the detector for the verdict and onset.
+  bool abort_on_divergence = false;
+
   /// Streaming granularity: how many trace records to schedule into the
   /// engine before running it forward. Bounds engine occupancy at
   /// ~stream_window events (plus in-flight fetches) regardless of trace

@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -324,6 +325,12 @@ TEST(TraceExport, TimeseriesCsvHasHeaderAndRows) {
   ASSERT_TRUE(std::getline(lines, header));
   EXPECT_EQ(header.rfind("shard,time,", 0), 0u) << header;
   EXPECT_NE(header.find("link.queue_depth"), std::string::npos);
+  // Units metadata row directly under the header, one cell per column.
+  std::string units;
+  ASSERT_TRUE(std::getline(lines, units));
+  EXPECT_EQ(units.rfind("#units,s,", 0), 0u) << units;
+  EXPECT_EQ(std::count(units.begin(), units.end(), ','),
+            std::count(header.begin(), header.end(), ','));
   std::size_t rows = 0;
   std::string line;
   while (std::getline(lines, line)) {
@@ -375,6 +382,9 @@ TEST(TraceExport, FleetExportCoversEveryShard) {
   std::string header;
   ASSERT_TRUE(std::getline(lines, header));
   EXPECT_NE(header.find("origin.queue_depth"), std::string::npos);
+  std::string units;
+  ASSERT_TRUE(std::getline(lines, units));
+  EXPECT_EQ(units.rfind("#units,s,", 0), 0u) << units;
   std::size_t rows = 0;
   std::string line;
   while (std::getline(lines, line)) {

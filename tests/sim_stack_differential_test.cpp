@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/divergence.hpp"
 #include "obs/telemetry.hpp"
 #include "policy/policies.hpp"
 #include "shard/sharded_sim.hpp"
@@ -422,6 +423,107 @@ TEST(StackDifferential, ShardedReplayTelemetryOnMatchesOff) {
   }
   EXPECT_EQ(sent, on.cross_shard_events);
   EXPECT_EQ(received, on.cross_shard_events);
+}
+
+// --- divergence detector on vs off: pure observation, bit-identical ---------
+
+TEST(StackDifferential, TraceReplayDetectorOnMatchesOff) {
+  // The detector's purity contract (obs/divergence.hpp): with the abort
+  // hook disarmed, a replay with a detector attached is bit-identical to
+  // one without — it only reads sealed recorder rows at stream-window
+  // boundaries. An overloaded leg (low bandwidth) keeps the trend tests
+  // exercised, not just evaluated on quiet gauges.
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 500;
+  trace_cfg.num_requests = 5000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 21;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  // theta 0.6 keeps the link comfortable; theta 0.02 prefetches nearly
+  // everything and swamps it, so the stressed leg drives the trend tests
+  // over genuinely elevated gauges.
+  for (double theta : {0.6, 0.02}) {
+    TraceReplayConfig cfg;
+    cfg.bandwidth = 60.0;
+    cfg.cache_capacity = 8;
+    // Smaller than the trace so several window-boundary evaluations run,
+    // not just the final post-drain pass.
+    cfg.stream_window = 1024;
+
+    TelemetryPlane off_plane;
+    cfg.telemetry = &off_plane;
+    FixedThresholdPolicy off_policy(theta);
+    const ProxySimResult off = run_trace_replay(trace, cfg, off_policy);
+
+    TelemetryPlane on_plane;
+    DivergenceDetector detector;
+    cfg.telemetry = &on_plane;
+    cfg.divergence = &detector;  // abort_on_divergence stays false
+    FixedThresholdPolicy on_policy(theta);
+    const ProxySimResult on = run_trace_replay(trace, cfg, on_policy);
+
+    SCOPED_TRACE("theta=" + std::to_string(theta));
+    expect_identical(on, off);
+    EXPECT_GT(on.requests, 0u);
+    // The replay auto-configured and auto-attached the detector, and it
+    // actually ran: evaluations at every stream-window boundary plus the
+    // final post-drain pass.
+    EXPECT_TRUE(detector.configured());
+    EXPECT_GT(detector.num_signals(), 0u);
+    EXPECT_GT(detector.evaluations(), 1u);
+    // Telemetry rows are identical too (same cadence, same gauges).
+    ASSERT_EQ(on_plane.series().size(), off_plane.series().size());
+    AuditReport report;
+    detector.audit(report);
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+TEST(StackDifferential, ShardedReplayDetectorOnMatchesOff) {
+  SyntheticTraceConfig trace_cfg;
+  trace_cfg.num_users = 300;
+  trace_cfg.num_requests = 3000;
+  trace_cfg.request_rate = 50.0;
+  trace_cfg.graph.num_pages = 80;
+  trace_cfg.seed = 33;
+  const Trace trace = generate_synthetic_trace(trace_cfg);
+
+  ShardedReplayConfig cfg;
+  cfg.stack.bandwidth = 60.0;
+  cfg.stack.cache_capacity = 8;
+  cfg.num_shards = 2;
+  cfg.num_threads = 2;
+  const PolicyFactory factory = [] {
+    return std::make_unique<ThresholdPolicy>(core::InteractionModel::kModelA);
+  };
+
+  TelemetryFleet off_fleet(TelemetryConfig{}, 2);
+  cfg.telemetry = &off_fleet;
+  const ShardedReplayResult off = run_sharded_replay(trace, cfg, factory);
+
+  TelemetryFleet on_fleet(TelemetryConfig{}, 2);
+  DivergenceDetector detector;
+  cfg.telemetry = &on_fleet;
+  cfg.divergence = &detector;  // abort_on_divergence stays false
+  const ShardedReplayResult on = run_sharded_replay(trace, cfg, factory);
+
+  expect_identical(on.merged, off.merged);
+  EXPECT_EQ(on.cross_shard_events, off.cross_shard_events);
+  EXPECT_EQ(on.backbone.jobs(), off.backbone.jobs());
+  EXPECT_GT(on.merged.requests, 0u);
+  // One signal set per shard (fleet verdict = worst shard), evaluated on
+  // the driver thread at every epoch barrier.
+  EXPECT_TRUE(detector.configured());
+  EXPECT_GT(detector.num_signals(), 0u);
+  EXPECT_GT(detector.evaluations(), 1u);
+  for (std::size_t i = 0; i < detector.num_signals(); ++i) {
+    EXPECT_EQ(detector.signal_name(i).rfind("shard", 0), 0u) << i;
+  }
+  AuditReport report;
+  detector.audit(report);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 // --- streamed sources vs in-RAM traces: the out-of-core pipeline ------------

@@ -21,6 +21,7 @@
 #include "cache/cache_plane.hpp"
 #include "cache/factory.hpp"
 #include "des/simulator.hpp"
+#include "obs/divergence.hpp"
 #include "obs/telemetry.hpp"
 #include "policy/policies.hpp"
 #include "predict/context_arena.hpp"
@@ -129,6 +130,20 @@ struct AuditPeer {
   }
   static void desync_registry_names(TelemetryRegistry& r) {
     r.counter_names_.pop_back();  // slot with no name
+  }
+
+  // --- divergence detector ------------------------------------------------
+  static void advance_detector_cursor(DivergenceDetector& d) {
+    // A staleness cursor ahead of its recorder means evaluate() would skip
+    // rows that were never seen — the signature of a recorder swap or a
+    // torn read of recorded().
+    d.signals_[0].last_recorded = d.signals_[0].series->recorded() + 5;
+  }
+  static void latch_without_onset(DivergenceDetector& d) {
+    // A divergent latch with no onset estimate: the latch path always
+    // records one, so this state can only come from memory corruption.
+    d.signals_[0].diverged = true;
+    d.signals_[0].onset = -1.0;
   }
 };
 
@@ -536,6 +551,44 @@ TEST(AuditInjection, TelemetryRegistryNameSlotDesync) {
   AuditReport report;
   reg.audit(report);
   expect_failure_containing(report, "desynced");
+}
+
+TEST(AuditInjection, DivergenceDetectorCursorAheadOfRecorder) {
+  TimeSeriesRecorder rec;
+  rec.configure(/*num_gauges=*/1, /*capacity=*/64, /*interval=*/0.25);
+  const std::vector<double> row = {3.0};
+  for (int i = 0; i < 20; ++i) rec.record(0.25 * i, row);
+  DivergenceDetector det;
+  det.configure(DivergenceConfig{});
+  det.watch(rec, 0, "link.depth_ewma", 8.0);
+  det.evaluate();
+  AuditReport clean;
+  det.audit(clean);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  AuditPeer::advance_detector_cursor(det);
+  AuditReport report;
+  det.audit(report);
+  expect_failure_containing(report, "staleness cursor");
+}
+
+TEST(AuditInjection, DivergenceDetectorLatchWithoutOnset) {
+  TimeSeriesRecorder rec;
+  rec.configure(1, 64, 0.25);
+  const std::vector<double> row = {3.0};
+  for (int i = 0; i < 20; ++i) rec.record(0.25 * i, row);
+  DivergenceDetector det;
+  det.configure(DivergenceConfig{});
+  det.watch(rec, 0, "link.depth_ewma", 8.0);
+  det.evaluate();
+  AuditReport clean;
+  det.audit(clean);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  AuditPeer::latch_without_onset(det);
+  AuditReport report;
+  det.audit(report);
+  expect_failure_containing(report, "onset");
 }
 
 // ---------------------------------------------------------------------------
